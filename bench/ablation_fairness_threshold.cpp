@@ -1,0 +1,95 @@
+// Ablation — fairness-counter threshold sweep (paper section II.A.2).
+//
+// The paper reports that a threshold of four gives the best performance
+// after testing different traffic patterns: too small interrupts the
+// primary-crossbar flow (and fights the credit/launch round trip), too
+// large leaves center nodes starved.  This bench reproduces that sweep
+// and additionally reports the worst-case packet latency, which is what
+// starvation actually moves.
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "traffic/patterns.hpp"
+
+using namespace dxbar;
+using namespace dxbar::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = parse_args(argc, argv);
+
+  const std::vector<int> thresholds = {1, 2, 4, 8, 16, 64};
+  const std::vector<TrafficPattern> patterns = {
+      TrafficPattern::UniformRandom, TrafficPattern::NonUniformRandom,
+      TrafficPattern::Transpose};
+
+  std::vector<std::string> x;
+  for (int t : thresholds) x.push_back(std::to_string(t));
+
+  std::vector<std::string> labels;
+  std::vector<SimConfig> cfgs;
+  for (TrafficPattern p : patterns) {
+    labels.emplace_back(to_string(p));
+    for (int t : thresholds) {
+      SimConfig c = opt.base;
+      c.design = RouterDesign::DXbar;
+      c.pattern = p;
+      c.offered_load = 0.45;  // near saturation, where fairness matters
+      c.fairness_threshold = t;
+      cfgs.push_back(c);
+    }
+  }
+  const auto stats = run_sweep(cfgs);
+
+  std::vector<std::vector<double>> thr, lat;
+  for (std::size_t s = 0; s < labels.size(); ++s) {
+    std::vector<double> tcol, lcol;
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+      tcol.push_back(stats[s * thresholds.size() + i].accepted_load);
+      lcol.push_back(stats[s * thresholds.size() + i].avg_packet_latency);
+    }
+    thr.push_back(std::move(tcol));
+    lat.push_back(std::move(lcol));
+  }
+
+  print_table("Ablation: accepted load vs fairness threshold (load 0.45)",
+              "threshold", x, labels, thr);
+  print_table("Ablation: avg packet latency vs fairness threshold",
+              "threshold", x, labels, lat, "%10.1f");
+
+  // The counter's real job: bounding starvation of the *center* nodes,
+  // whose injected flits keep losing to older edge-injected traffic.
+  // Measure the p99 latency of packets sourced by the 4 center nodes
+  // under UR (detailed runs are serial; keep the sweep small).
+  const Mesh mesh(opt.base.mesh_width, opt.base.mesh_height);
+  std::vector<double> center_p99;
+  std::vector<SimConfig> detail_cfgs;
+  for (int t : thresholds) {
+    SimConfig c = opt.base;
+    c.design = RouterDesign::DXbar;
+    c.offered_load = 0.45;
+    c.fairness_threshold = t;
+    detail_cfgs.push_back(c);
+  }
+  std::vector<DetailedRun> runs(detail_cfgs.size());
+  parallel_for(detail_cfgs.size(), [&](std::size_t i) {
+    runs[i] = run_open_loop_detailed(detail_cfgs[i]);
+  });
+  std::printf("\nCenter-node fairness (UR, load 0.45):\n");
+  std::printf("%-10s %16s %16s\n", "threshold", "center p99 (cy)",
+              "center max (cy)");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    std::vector<double> lats;
+    for (const PacketRecord& p : runs[i].packets) {
+      if (is_hotspot(mesh, p.src)) {
+        lats.push_back(static_cast<double>(p.latency()));
+      }
+    }
+    std::sort(lats.begin(), lats.end());
+    const double p99 =
+        lats.empty() ? 0.0 : lats[static_cast<std::size_t>(
+                                 0.99 * static_cast<double>(lats.size() - 1))];
+    const double mx = lats.empty() ? 0.0 : lats.back();
+    std::printf("%-10s %16.0f %16.0f\n", x[i].c_str(), p99, mx);
+  }
+  return 0;
+}

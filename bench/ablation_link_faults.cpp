@@ -1,0 +1,59 @@
+// Ablation (extension) — link faults: dead mesh edges routed around via
+// the fault-aware BFS table.  The companion experiment to the paper's
+// crossbar-fault study (Figs 11-12): crossbar faults degrade a router's
+// *internal* datapath; link faults degrade the topology itself.
+#include "bench_util.hpp"
+
+using namespace dxbar;
+using namespace dxbar::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = parse_args(argc, argv);
+
+  const std::vector<double> fractions = {0.0, 0.05, 0.1, 0.2, 0.3};
+  const std::vector<DesignVariant> variants = {
+      {"DXbar", RouterDesign::DXbar, RoutingAlgo::DOR},
+      {"Unified", RouterDesign::UnifiedXbar, RoutingAlgo::DOR},
+      {"Flit-Bless", RouterDesign::FlitBless, RoutingAlgo::DOR},
+      {"SCARAB", RouterDesign::Scarab, RoutingAlgo::DOR},
+  };
+
+  std::vector<std::string> x;
+  for (double f : fractions) x.push_back(fmt(f * 100, "%.0f%%"));
+
+  std::vector<std::string> labels;
+  std::vector<SimConfig> cfgs;
+  for (const auto& v : variants) {
+    labels.emplace_back(v.label);
+    for (double f : fractions) {
+      SimConfig c = opt.base;
+      c.design = v.design;
+      c.offered_load = 0.25;
+      c.link_fault_fraction = f;
+      cfgs.push_back(c);
+    }
+  }
+  const auto stats = run_sweep(cfgs);
+
+  std::vector<std::vector<double>> thr, lat, hops;
+  for (std::size_t s = 0; s < labels.size(); ++s) {
+    std::vector<double> tcol, lcol, hcol;
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+      const RunStats& r = stats[s * fractions.size() + i];
+      tcol.push_back(r.accepted_load);
+      lcol.push_back(r.avg_packet_latency);
+      hcol.push_back(r.avg_hops);
+    }
+    thr.push_back(std::move(tcol));
+    lat.push_back(std::move(lcol));
+    hops.push_back(std::move(hcol));
+  }
+
+  print_table("Link faults: accepted load at offered 0.25 vs dead edges",
+              "dead", x, labels, thr);
+  print_table("Link faults: avg packet latency (cycles)", "dead", x, labels,
+              lat, "%10.1f");
+  print_table("Link faults: avg hops per flit (detour cost)", "dead", x,
+              labels, hops, "%10.2f");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation — stall-escape delay of the on/off flow control (an
+// implementation knob of this reproduction; see router/dxbar_router.hpp).
+//
+// Small delays let congested FIFO heads push into stopped receivers
+// quickly, maximising peak throughput on benign traffic but wasting
+// deflection energy around hot spots; large delays keep hot-spot energy
+// flat at some throughput cost.  The library default (16) balances the
+// two; this bench regenerates the trade-off curve.
+#include "bench_util.hpp"
+
+using namespace dxbar;
+using namespace dxbar::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = parse_args(argc, argv);
+
+  const std::vector<int> delays = {2, 4, 8, 16, 32, 64};
+  std::vector<std::string> x;
+  for (int d : delays) x.push_back(std::to_string(d));
+
+  struct Scenario {
+    const char* label;
+    TrafficPattern pattern;
+  };
+  const std::vector<Scenario> scenarios = {
+      {"UR", TrafficPattern::UniformRandom},
+      {"NUR", TrafficPattern::NonUniformRandom},
+      {"CP", TrafficPattern::Complement},
+  };
+
+  std::vector<std::string> labels;
+  std::vector<SimConfig> cfgs;
+  for (const Scenario& sc : scenarios) {
+    labels.emplace_back(sc.label);
+    for (int d : delays) {
+      SimConfig c = opt.base;
+      c.design = RouterDesign::DXbar;
+      c.pattern = sc.pattern;
+      c.offered_load = 0.5;
+      c.stall_escape_delay = d;
+      cfgs.push_back(c);
+    }
+  }
+  const auto stats = run_sweep(cfgs);
+
+  std::vector<std::vector<double>> thr, energy, defl;
+  for (std::size_t s = 0; s < labels.size(); ++s) {
+    std::vector<double> tcol, ecol, dcol;
+    for (std::size_t i = 0; i < delays.size(); ++i) {
+      const RunStats& r = stats[s * delays.size() + i];
+      tcol.push_back(r.accepted_load);
+      ecol.push_back(r.energy_per_packet_nj());
+      dcol.push_back(r.deflections_per_flit);
+    }
+    thr.push_back(std::move(tcol));
+    energy.push_back(std::move(ecol));
+    defl.push_back(std::move(dcol));
+  }
+
+  print_table("Ablation: accepted load vs stall-escape delay (load 0.5)",
+              "delay", x, labels, thr);
+  print_table("Ablation: energy per packet (nJ) vs stall-escape delay",
+              "delay", x, labels, energy, "%10.3f");
+  print_table("Ablation: deflections per flit vs stall-escape delay",
+              "delay", x, labels, defl, "%10.4f");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Shared plumbing for the figure/table reproduction binaries.
+//
+// Every bench accepts:
+//   --quick          shrink simulated cycle counts for smoke runs
+//   --csv <dir>      additionally write every printed table as CSV
+//   key=value ...    any SimConfig override (see common/config.hpp)
+#pragma once
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/dxbar.hpp"
+
+namespace dxbar::bench {
+
+/// Directory for CSV table dumps; empty = disabled.
+inline std::string& csv_dir() {
+  static std::string dir;
+  return dir;
+}
+
+struct BenchOptions {
+  bool quick = false;
+  SimConfig base;  ///< defaults + command-line overrides
+};
+
+/// Parses argv; exits with a message on bad input.  `quick` shrinks the
+/// measurement window and drain cap by ~4x.
+inline BenchOptions parse_args(int argc, char** argv) {
+  BenchOptions opt;
+  opt.base.warmup_cycles = 1000;
+  opt.base.measure_cycles = 4000;
+  opt.base.drain_cycles = 6000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      opt.quick = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      csv_dir() = (i + 1 < argc) ? argv[++i] : ".";
+      continue;
+    }
+    if (const auto err = apply_override(opt.base, argv[i]); !err.empty()) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      std::exit(1);
+    }
+  }
+  if (opt.quick) {
+    opt.base.warmup_cycles = 300;
+    opt.base.measure_cycles = 1200;
+    opt.base.drain_cycles = 2000;
+  }
+  return opt;
+}
+
+/// The six designs of the paper's synthetic-traffic figures, in legend
+/// order.  DXbar appears twice (DOR and WF variants).
+struct DesignVariant {
+  const char* label;
+  RouterDesign design;
+  RoutingAlgo routing;
+};
+
+inline const std::vector<DesignVariant>& figure_designs() {
+  static const std::vector<DesignVariant> v = {
+      {"Flit-Bless", RouterDesign::FlitBless, RoutingAlgo::DOR},
+      {"SCARAB", RouterDesign::Scarab, RoutingAlgo::DOR},
+      {"Buffered 4", RouterDesign::Buffered4, RoutingAlgo::DOR},
+      {"Buffered 8", RouterDesign::Buffered8, RoutingAlgo::DOR},
+      {"DXbar DOR", RouterDesign::DXbar, RoutingAlgo::DOR},
+      {"DXbar WF", RouterDesign::DXbar, RoutingAlgo::WestFirst},
+      {"Unified DOR", RouterDesign::UnifiedXbar, RoutingAlgo::DOR},
+  };
+  return v;
+}
+
+/// Writes a table as CSV into csv_dir() under a slug of its title.
+inline void write_csv(const std::string& title, const char* x_label,
+                      const std::vector<std::string>& x_values,
+                      const std::vector<std::string>& series_labels,
+                      const std::vector<std::vector<double>>& values) {
+  if (csv_dir().empty()) return;
+  std::string slug;
+  for (char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug += '_';
+    }
+    if (slug.size() >= 60) break;
+  }
+  std::ofstream out(csv_dir() + "/" + slug + ".csv");
+  if (!out) return;
+  out << x_label;
+  for (const auto& s : series_labels) out << ',' << s;
+  out << '\n';
+  for (std::size_t r = 0; r < x_values.size(); ++r) {
+    out << x_values[r];
+    for (std::size_t c = 0; c < series_labels.size(); ++c) {
+      out << ',' << values[c][r];
+    }
+    out << '\n';
+  }
+}
+
+/// Prints a row-per-x, column-per-series table (and mirrors it to CSV
+/// when --csv is active).
+inline void print_table(const std::string& title, const char* x_label,
+                        const std::vector<std::string>& x_values,
+                        const std::vector<std::string>& series_labels,
+                        const std::vector<std::vector<double>>& values,
+                        const char* fmt = "%10.4f") {
+  write_csv(title, x_label, x_values, series_labels, values);
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-10s", x_label);
+  for (const auto& s : series_labels) std::printf(" %12s", s.c_str());
+  std::printf("\n");
+  for (std::size_t r = 0; r < x_values.size(); ++r) {
+    std::printf("%-10s", x_values[r].c_str());
+    for (std::size_t c = 0; c < series_labels.size(); ++c) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), fmt, values[c][r]);
+      std::printf(" %12s", buf);
+    }
+    std::printf("\n");
+  }
+}
+
+inline std::string fmt(double v, const char* f = "%.2f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), f, v);
+  return buf;
+}
+
+}  // namespace dxbar::bench

@@ -1,0 +1,67 @@
+// Figure 10 — network energy per packet for the nine SPLASH-2 workloads
+// (coherence-traffic substitute).
+//
+// Paper shape: Flit-Bless consumes far more energy than DXbar (the paper
+// reports >=16x — deflections average ~50 per packet on its traces) and
+// SCARAB >=2x; DXbar is the most frugal.
+#include "bench_util.hpp"
+#include "sim/sweep.hpp"
+#include "traffic/splash.hpp"
+
+using namespace dxbar;
+using namespace dxbar::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = parse_args(argc, argv);
+
+  std::vector<SplashProfile> apps = splash_profiles();
+  if (opt.quick) {
+    for (auto& a : apps) a.transactions_per_node = 30;
+  }
+
+  // Same closed-loop methodology as Fig 9.
+  std::vector<std::string> labels;
+  std::vector<std::pair<SimConfig, const SplashProfile*>> jobs;
+  for (const DesignVariant& dv : figure_designs()) {
+    labels.emplace_back(dv.label);
+    for (const SplashProfile& app : apps) {
+      SimConfig c = opt.base;
+      c.design = dv.design;
+      c.routing = dv.routing;
+      jobs.emplace_back(c, &app);
+    }
+  }
+
+  std::vector<ClosedLoopResult> results(jobs.size());
+  parallel_for(jobs.size(), [&](std::size_t i) {
+    results[i] = run_splash(jobs[i].first, *jobs[i].second, 2'000'000);
+  });
+
+  std::vector<std::string> x;
+  for (const auto& app : apps) x.emplace_back(app.name);
+
+  std::vector<std::vector<double>> energy;
+  for (std::size_t s = 0; s < labels.size(); ++s) {
+    std::vector<double> col;
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+      col.push_back(results[s * apps.size() + a].energy_per_packet_nj);
+    }
+    energy.push_back(std::move(col));
+  }
+
+  print_table("Figure 10: energy per packet (nJ), SPLASH-2 substitute",
+              "app", x, labels, energy, "%10.3f");
+
+  // Ratios versus DXbar DOR (series index 4).
+  const std::size_t dxbar = 4;
+  std::printf("\nMean energy ratio vs DXbar DOR:\n");
+  for (std::size_t s = 0; s < labels.size(); ++s) {
+    double ratio = 0;
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+      ratio += energy[s][a] / energy[dxbar][a];
+    }
+    std::printf("  %-12s %.2fx\n", labels[s].c_str(),
+                ratio / static_cast<double>(apps.size()));
+  }
+  return 0;
+}

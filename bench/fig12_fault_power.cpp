@@ -1,0 +1,64 @@
+// Figure 12 — latency (a) and power/energy (b: DOR, c: WF) of the DXbar
+// network with varying percentages of router crossbar faults.
+//
+// Paper shape: energy rises with the fault percentage because degraded
+// routers buffer every flit, adding buffer read/write energy on top of
+// the crossbar/link energy.
+#include "bench_util.hpp"
+
+using namespace dxbar;
+using namespace dxbar::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = parse_args(argc, argv);
+
+  const std::vector<double> fault_fracs = {0.0, 0.25, 0.5, 0.75, 1.0};
+  std::vector<double> loads;
+  for (double l = 0.1; l <= 0.9 + 1e-9; l += 0.2) loads.push_back(l);
+
+  std::vector<std::string> x;
+  for (double l : loads) x.push_back(fmt(l, "%.1f"));
+
+  for (RoutingAlgo algo : {RoutingAlgo::DOR, RoutingAlgo::WestFirst}) {
+    std::vector<std::string> labels;
+    std::vector<SimConfig> cfgs;
+    for (double f : fault_fracs) {
+      labels.push_back(fmt(f * 100, "%.0f%% faults"));
+      for (double l : loads) {
+        SimConfig c = opt.base;
+        c.design = RouterDesign::DXbar;
+        c.routing = algo;
+        c.offered_load = l;
+        c.fault_fraction = f;
+        cfgs.push_back(c);
+      }
+    }
+    const auto stats = run_sweep(cfgs);
+
+    std::vector<std::vector<double>> lat, energy, buf_energy;
+    for (std::size_t s = 0; s < labels.size(); ++s) {
+      std::vector<double> lcol, ecol, bcol;
+      for (std::size_t i = 0; i < loads.size(); ++i) {
+        const RunStats& r = stats[s * loads.size() + i];
+        lcol.push_back(r.avg_packet_latency);
+        ecol.push_back(r.energy_per_packet_nj());
+        const double pkts =
+            static_cast<double>(r.flits_ejected) / r.packet_length;
+        bcol.push_back(pkts == 0.0 ? 0.0 : r.energy_buffer_nj / pkts);
+      }
+      lat.push_back(std::move(lcol));
+      energy.push_back(std::move(ecol));
+      buf_energy.push_back(std::move(bcol));
+    }
+
+    const std::string algo_s(to_string(algo));
+    print_table("Figure 12(a): average packet latency (cycles), DXbar " +
+                    algo_s + " with crossbar faults",
+                "offered", x, labels, lat, "%10.1f");
+    print_table("Figure 12(b/c): energy per packet (nJ), DXbar " + algo_s,
+                "offered", x, labels, energy, "%10.3f");
+    print_table("  of which buffer energy (nJ/packet), DXbar " + algo_s,
+                "offered", x, labels, buf_energy, "%10.4f");
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 5 — throughput (accepted vs offered load) under Uniform Random
+// traffic for all router designs on the 8x8 mesh.
+//
+// Paper shape to reproduce: DXbar DOR saturates at >0.4 (best), DXbar WF
+// slightly below, Buffered 8 ~20% below DXbar, and Buffered 4 /
+// Flit-Bless / SCARAB ~40% below with saturation under 0.3.
+#include "bench_util.hpp"
+
+using namespace dxbar;
+using namespace dxbar::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = parse_args(argc, argv);
+
+  std::vector<double> loads;
+  for (double l = 0.1; l <= 0.9 + 1e-9; l += 0.1) loads.push_back(l);
+
+  std::vector<std::string> x;
+  for (double l : loads) x.push_back(fmt(l, "%.1f"));
+
+  std::vector<std::string> labels;
+  std::vector<std::vector<double>> accepted;
+  std::vector<SimConfig> cfgs;
+  for (const DesignVariant& dv : figure_designs()) {
+    labels.emplace_back(dv.label);
+    for (double l : loads) {
+      SimConfig c = opt.base;
+      c.pattern = TrafficPattern::UniformRandom;
+      c.design = dv.design;
+      c.routing = dv.routing;
+      c.offered_load = l;
+      cfgs.push_back(c);
+    }
+  }
+  const auto stats = run_sweep(cfgs);
+  for (std::size_t s = 0; s < labels.size(); ++s) {
+    std::vector<double> col;
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      col.push_back(stats[s * loads.size() + i].accepted_load);
+    }
+    accepted.push_back(std::move(col));
+  }
+
+  print_table(
+      "Figure 5: accepted load (flits/node/cycle) vs offered load, UR 8x8",
+      "offered", x, labels, accepted);
+
+  // Saturation summary (first offered load where acceptance < 90%).
+  std::printf("\nSaturation points (acceptance < 90%% of offered):\n");
+  for (std::size_t s = 0; s < labels.size(); ++s) {
+    double sat = loads.back();
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      if (accepted[s][i] < 0.9 * loads[i]) {
+        sat = loads[i];
+        break;
+      }
+    }
+    std::printf("  %-12s %.2f\n", labels[s].c_str(), sat);
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 6 — average energy per packet (nJ) vs offered load under
+// Uniform Random traffic.
+//
+// Paper shape: DXbar's energy stays nearly flat across loads (packets
+// are buffered only ~1/6 of the time past saturation); Flit-Bless rises
+// ~3x and SCARAB ~2x past their saturation points; the buffered routers
+// sit in between, Buffered 8 above Buffered 4.
+#include "bench_util.hpp"
+
+using namespace dxbar;
+using namespace dxbar::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = parse_args(argc, argv);
+
+  std::vector<double> loads;
+  for (double l = 0.1; l <= 0.9 + 1e-9; l += 0.1) loads.push_back(l);
+
+  std::vector<std::string> x;
+  for (double l : loads) x.push_back(fmt(l, "%.1f"));
+
+  std::vector<std::string> labels;
+  std::vector<std::vector<double>> energy;
+  std::vector<SimConfig> cfgs;
+  for (const DesignVariant& dv : figure_designs()) {
+    labels.emplace_back(dv.label);
+    for (double l : loads) {
+      SimConfig c = opt.base;
+      c.pattern = TrafficPattern::UniformRandom;
+      c.design = dv.design;
+      c.routing = dv.routing;
+      c.offered_load = l;
+      cfgs.push_back(c);
+    }
+  }
+  const auto stats = run_sweep(cfgs);
+  for (std::size_t s = 0; s < labels.size(); ++s) {
+    std::vector<double> col;
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      col.push_back(stats[s * loads.size() + i].energy_per_packet_nj());
+    }
+    energy.push_back(std::move(col));
+  }
+
+  print_table("Figure 6: average energy per packet (nJ) vs offered load, "
+              "UR 8x8",
+              "offered", x, labels, energy, "%10.3f");
+
+  std::printf("\nEnergy growth (load 0.9 vs load 0.1):\n");
+  for (std::size_t s = 0; s < labels.size(); ++s) {
+    std::printf("  %-12s %.2fx\n", labels[s].c_str(),
+                energy[s].back() / energy[s].front());
+  }
+  return 0;
+}

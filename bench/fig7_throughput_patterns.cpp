@@ -1,0 +1,54 @@
+// Figure 7 — throughput at offered load 0.5 across all nine synthetic
+// traffic patterns.
+//
+// Paper shape: DXbar DOR best for UR, NUR, CP and TOR; DXbar WF highly
+// competitive for the patterns that favour adaptivity (BR, BF, MT, PS).
+#include "bench_util.hpp"
+
+using namespace dxbar;
+using namespace dxbar::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = parse_args(argc, argv);
+
+  std::vector<std::string> x;
+  for (TrafficPattern p : kAllPatterns) x.emplace_back(to_string(p));
+
+  std::vector<std::string> labels;
+  std::vector<SimConfig> cfgs;
+  for (const DesignVariant& dv : figure_designs()) {
+    labels.emplace_back(dv.label);
+    for (TrafficPattern p : kAllPatterns) {
+      SimConfig c = opt.base;
+      c.pattern = p;
+      c.design = dv.design;
+      c.routing = dv.routing;
+      c.offered_load = 0.5;
+      cfgs.push_back(c);
+    }
+  }
+  const auto stats = run_sweep(cfgs);
+
+  std::vector<std::vector<double>> accepted;
+  for (std::size_t s = 0; s < labels.size(); ++s) {
+    std::vector<double> col;
+    for (int i = 0; i < kNumPatterns; ++i) {
+      col.push_back(stats[s * kNumPatterns + i].accepted_load);
+    }
+    accepted.push_back(std::move(col));
+  }
+
+  print_table("Figure 7: accepted load at offered load 0.5, all patterns",
+              "pattern", x, labels, accepted);
+
+  std::printf("\nBest design per pattern:\n");
+  for (int i = 0; i < kNumPatterns; ++i) {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < labels.size(); ++s) {
+      if (accepted[s][i] > accepted[best][i]) best = s;
+    }
+    std::printf("  %-4s %s (%.4f)\n", x[i].c_str(), labels[best].c_str(),
+                accepted[best][i]);
+  }
+  return 0;
+}

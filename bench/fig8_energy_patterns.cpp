@@ -1,0 +1,54 @@
+// Figure 8 — energy per packet at offered load 0.5 across all nine
+// synthetic traffic patterns.
+//
+// Paper shape: DXbar uses the least power, Flit-Bless the most, SCARAB
+// second, the generic buffered routers in between.
+#include "bench_util.hpp"
+
+using namespace dxbar;
+using namespace dxbar::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = parse_args(argc, argv);
+
+  std::vector<std::string> x;
+  for (TrafficPattern p : kAllPatterns) x.emplace_back(to_string(p));
+
+  std::vector<std::string> labels;
+  std::vector<SimConfig> cfgs;
+  for (const DesignVariant& dv : figure_designs()) {
+    labels.emplace_back(dv.label);
+    for (TrafficPattern p : kAllPatterns) {
+      SimConfig c = opt.base;
+      c.pattern = p;
+      c.design = dv.design;
+      c.routing = dv.routing;
+      c.offered_load = 0.5;
+      cfgs.push_back(c);
+    }
+  }
+  const auto stats = run_sweep(cfgs);
+
+  std::vector<std::vector<double>> energy;
+  for (std::size_t s = 0; s < labels.size(); ++s) {
+    std::vector<double> col;
+    for (int i = 0; i < kNumPatterns; ++i) {
+      col.push_back(stats[s * kNumPatterns + i].energy_per_packet_nj());
+    }
+    energy.push_back(std::move(col));
+  }
+
+  print_table("Figure 8: energy per packet (nJ) at offered load 0.5, all "
+              "patterns",
+              "pattern", x, labels, energy, "%10.3f");
+
+  // Cross-pattern average, for the "DXbar uses the least power" claim.
+  std::printf("\nMean energy per packet across patterns:\n");
+  for (std::size_t s = 0; s < labels.size(); ++s) {
+    double sum = 0;
+    for (double v : energy[s]) sum += v;
+    std::printf("  %-12s %.3f nJ\n", labels[s].c_str(),
+                sum / static_cast<double>(kNumPatterns));
+  }
+  return 0;
+}

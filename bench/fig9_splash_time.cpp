@@ -1,0 +1,69 @@
+// Figure 9 — normalized execution time of the nine SPLASH-2 workloads
+// (coherence-traffic substitute; see DESIGN.md section 4), normalized to
+// the Buffered 4 baseline per application.
+//
+// Paper shape: DXbar DOR performs best for most traces (DOR above WF);
+// Flit-Bless and SCARAB keep up at these low-to-moderate loads and can
+// even edge ahead for FFT.
+#include "bench_util.hpp"
+#include "sim/sweep.hpp"
+#include "traffic/splash.hpp"
+
+using namespace dxbar;
+using namespace dxbar::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = parse_args(argc, argv);
+
+  std::vector<SplashProfile> apps = splash_profiles();
+  if (opt.quick) {
+    for (auto& a : apps) a.transactions_per_node = 30;
+  }
+
+  // Closed-loop runs: the network's round-trip latency feeds back into
+  // each node's issue rate through the MSHR limit, which is what makes
+  // "execution time" a property of the router design.
+  std::vector<std::string> labels;
+  std::vector<std::pair<SimConfig, const SplashProfile*>> jobs;
+  for (const DesignVariant& dv : figure_designs()) {
+    labels.emplace_back(dv.label);
+    for (const SplashProfile& app : apps) {
+      SimConfig c = opt.base;
+      c.design = dv.design;
+      c.routing = dv.routing;
+      jobs.emplace_back(c, &app);
+    }
+  }
+
+  std::vector<ClosedLoopResult> results(jobs.size());
+  parallel_for(jobs.size(), [&](std::size_t i) {
+    results[i] = run_splash(jobs[i].first, *jobs[i].second, 2'000'000);
+  });
+
+  // Normalize to Buffered 4 (series index 2 in figure_designs()).
+  const std::size_t baseline = 2;
+  std::vector<std::string> x;
+  for (const auto& app : apps) x.emplace_back(app.name);
+
+  std::vector<std::vector<double>> normalized;
+  for (std::size_t s = 0; s < labels.size(); ++s) {
+    std::vector<double> col;
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+      const double base = static_cast<double>(
+          results[baseline * apps.size() + a].completion_cycles);
+      col.push_back(
+          static_cast<double>(results[s * apps.size() + a].completion_cycles) /
+          base);
+    }
+    normalized.push_back(std::move(col));
+  }
+
+  print_table("Figure 9: normalized execution time (Buffered 4 = 1.0), "
+              "SPLASH-2 substitute",
+              "app", x, labels, normalized, "%10.3f");
+
+  bool all_finished = true;
+  for (const auto& r : results) all_finished = all_finished && r.finished;
+  std::printf("\nall workloads completed: %s\n", all_finished ? "yes" : "NO");
+  return all_finished ? 0 : 1;
+}

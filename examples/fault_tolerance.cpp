@@ -1,0 +1,50 @@
+// Fault-tolerance walkthrough: inject crossbar faults into every router
+// of a DXbar mesh and show the network degrading gracefully instead of
+// failing (paper section II.C) — including the guarantee that no packet
+// is ever lost.
+//
+//   ./fault_tolerance [key=value ...]     e.g.  ./fault_tolerance routing=wf
+#include <cstdio>
+#include <span>
+
+#include "core/dxbar.hpp"
+
+int main(int argc, char** argv) {
+  dxbar::SimConfig base;
+  base.design = dxbar::RouterDesign::DXbar;
+  base.offered_load = 0.30;
+  base.warmup_cycles = 500;
+  base.measure_cycles = 3000;
+
+  const auto err = dxbar::apply_overrides(
+      base, std::span<const char* const>(argv + 1,
+                                         static_cast<std::size_t>(argc - 1)));
+  if (!err.empty()) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 1;
+  }
+
+  std::printf("DXbar fault tolerance, %s routing, load %.2f, 8x8 mesh\n",
+              std::string(to_string(base.routing)).c_str(),
+              base.offered_load);
+  std::printf("%-8s %10s %12s %12s %10s\n", "faults", "routers", "accepted",
+              "latency", "drained");
+
+  for (double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    dxbar::SimConfig cfg = base;
+    cfg.fault_fraction = frac;
+
+    // Count the faulty routers the plan will produce, then run.
+    const dxbar::FaultPlan plan(cfg.num_nodes(), frac, cfg.seed, 1,
+                                cfg.fault_detect_delay);
+    const dxbar::RunStats s = dxbar::run_open_loop(cfg);
+    std::printf("%-8.0f%% %9d %12.4f %10.1f cy %10s\n", frac * 100,
+                plan.num_faulty(), s.accepted_load, s.avg_packet_latency,
+                s.drained ? "yes" : "NO");
+  }
+
+  std::puts("\nEven with a crossbar fault in every router (100%), the 2x2");
+  std::puts("steering crossbars keep each router alive as a buffered");
+  std::puts("single-crossbar router: every injected packet still drains.");
+  return 0;
+}

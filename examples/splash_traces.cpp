@@ -1,0 +1,107 @@
+// SPLASH-2 trace tooling: generate a coherence-traffic trace for one of
+// the nine applications (or read one from a file) and replay it against
+// a router design, reporting makespan, latency and energy.
+//
+//   ./splash_traces generate <app> <file> [key=value ...]
+//   ./splash_traces replay <file> [key=value ...]
+//   ./splash_traces run <app> [key=value ...]     # closed-loop, no file
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <span>
+
+#include "core/dxbar.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: splash_traces generate <app> <file> [key=value ...]\n"
+               "       splash_traces replay <file> [key=value ...]\n"
+               "       splash_traces run <app> [key=value ...]\n"
+               "apps: FFT LU Radiosity Ocean Raytrace Radix Water FMM "
+               "Barnes\n");
+}
+
+void report(const dxbar::ClosedLoopResult& r) {
+  std::printf("finished            : %s\n", r.finished ? "yes" : "NO");
+  std::printf("execution time      : %llu cycles\n",
+              static_cast<unsigned long long>(r.completion_cycles));
+  std::printf("packets delivered   : %llu\n",
+              static_cast<unsigned long long>(r.packets));
+  std::printf("avg packet latency  : %.1f cycles\n", r.avg_packet_latency);
+  std::printf("energy per packet   : %.3f nJ (total %.1f nJ)\n",
+              r.energy_per_packet_nj, r.energy_nj);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    usage();
+    return 1;
+  }
+  const std::string_view mode = argv[1];
+
+  dxbar::SimConfig cfg;
+  cfg.design = dxbar::RouterDesign::DXbar;
+  const int fixed_args = mode == "generate" ? 4 : 3;
+  if (argc < fixed_args) {
+    usage();
+    return 1;
+  }
+  const auto err = dxbar::apply_overrides(
+      cfg, std::span<const char* const>(
+               argv + fixed_args, static_cast<std::size_t>(argc - fixed_args)));
+  if (!err.empty()) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 1;
+  }
+
+  const dxbar::Mesh mesh(cfg.mesh_width, cfg.mesh_height);
+
+  if (mode == "generate") {
+    const dxbar::SplashProfile* app = dxbar::find_splash_profile(argv[2]);
+    if (app == nullptr) {
+      std::fprintf(stderr, "unknown application '%s'\n", argv[2]);
+      return 1;
+    }
+    const auto trace = dxbar::generate_splash_trace(*app, cfg, mesh);
+    std::ofstream out(argv[3]);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", argv[3]);
+      return 1;
+    }
+    dxbar::write_trace(out, trace);
+    std::printf("wrote %zu packets to %s\n", trace.size(), argv[3]);
+    return 0;
+  }
+
+  if (mode == "replay") {
+    std::ifstream in(argv[2]);
+    if (!in) {
+      std::fprintf(stderr, "cannot read '%s'\n", argv[2]);
+      return 1;
+    }
+    const auto trace = dxbar::read_trace(in);
+    std::printf("replaying %zu packets on %s...\n", trace.size(),
+                std::string(to_string(cfg.design)).c_str());
+    report(dxbar::run_trace_replay(cfg, trace));
+    return 0;
+  }
+
+  if (mode == "run") {
+    const dxbar::SplashProfile* app = dxbar::find_splash_profile(argv[2]);
+    if (app == nullptr) {
+      std::fprintf(stderr, "unknown application '%s'\n", argv[2]);
+      return 1;
+    }
+    std::printf("closed-loop %s on %s...\n", argv[2],
+                std::string(to_string(cfg.design)).c_str());
+    report(dxbar::run_splash(cfg, *app));
+    return 0;
+  }
+
+  usage();
+  return 1;
+}

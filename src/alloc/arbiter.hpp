@@ -1,0 +1,40 @@
+// Reusable arbiter primitives.
+//
+// Routers in this library arbitrate on either rotating priority
+// (round-robin, the generic-router default) or packet age (the bufferless
+// designs and DXbar, where the oldest flit must win to bound deflections).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/flit.hpp"
+
+namespace dxbar {
+
+/// Round-robin arbiter over up to 32 requesters.  `grant` returns the
+/// winning index (or -1 when no requests) and rotates priority past it.
+class RoundRobinArbiter {
+ public:
+  explicit RoundRobinArbiter(int num_inputs) : n_(num_inputs) {}
+
+  /// `requests` bit i set means input i requests the resource.
+  [[nodiscard]] int pick(std::uint32_t requests) const noexcept;
+
+  /// Picks and advances the priority pointer past the winner.
+  int grant(std::uint32_t requests) noexcept;
+
+  [[nodiscard]] int num_inputs() const noexcept { return n_; }
+  [[nodiscard]] int priority_pointer() const noexcept { return next_; }
+
+ private:
+  int n_;
+  int next_ = 0;
+};
+
+/// Index of the oldest flit among the non-null entries (age-based
+/// priority with the deterministic tie-break from Flit::older_than);
+/// -1 when all entries are null.
+int pick_oldest(std::span<const Flit* const> candidates) noexcept;
+
+}  // namespace dxbar

@@ -1,0 +1,6 @@
+// FairnessCounter is header-only; see fairness.hpp.
+#include "alloc/fairness.hpp"
+
+namespace dxbar {
+// Intentionally empty.
+}  // namespace dxbar

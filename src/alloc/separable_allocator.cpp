@@ -1,0 +1,57 @@
+#include "alloc/separable_allocator.hpp"
+
+#include <cassert>
+
+namespace dxbar {
+
+SeparableAllocator::SeparableAllocator(int num_inputs, int num_outputs)
+    : num_inputs_(num_inputs), num_outputs_(num_outputs) {
+  output_arbiters_.reserve(static_cast<std::size_t>(num_outputs));
+  for (int o = 0; o < num_outputs; ++o) {
+    output_arbiters_.emplace_back(num_inputs);
+  }
+  input_arbiters_.reserve(static_cast<std::size_t>(num_inputs));
+  for (int i = 0; i < num_inputs; ++i) {
+    input_arbiters_.emplace_back(num_outputs);
+  }
+}
+
+std::vector<int> SeparableAllocator::allocate(
+    const std::vector<std::uint32_t>& requests) {
+  assert(static_cast<int>(requests.size()) == num_inputs_);
+
+  // Stage 1: each output picks one requesting input.
+  std::vector<int> output_winner(static_cast<std::size_t>(num_outputs_), -1);
+  for (int o = 0; o < num_outputs_; ++o) {
+    std::uint32_t req = 0;
+    for (int i = 0; i < num_inputs_; ++i) {
+      if (requests[static_cast<std::size_t>(i)] & (1u << o)) req |= 1u << i;
+    }
+    output_winner[static_cast<std::size_t>(o)] =
+        output_arbiters_[static_cast<std::size_t>(o)].pick(req);
+  }
+
+  // Stage 2: each input picks one output that granted it.
+  std::vector<int> grant(static_cast<std::size_t>(num_inputs_), -1);
+  for (int i = 0; i < num_inputs_; ++i) {
+    std::uint32_t won = 0;
+    for (int o = 0; o < num_outputs_; ++o) {
+      if (output_winner[static_cast<std::size_t>(o)] == i) won |= 1u << o;
+    }
+    grant[static_cast<std::size_t>(i)] =
+        input_arbiters_[static_cast<std::size_t>(i)].pick(won);
+  }
+
+  // Advance only the arbiters whose grants were actually consumed, so
+  // unmatched requesters keep their priority (work-conserving rotation).
+  for (int i = 0; i < num_inputs_; ++i) {
+    const int o = grant[static_cast<std::size_t>(i)];
+    if (o >= 0) {
+      input_arbiters_[static_cast<std::size_t>(i)].grant(1u << o);
+      output_arbiters_[static_cast<std::size_t>(o)].grant(1u << i);
+    }
+  }
+  return grant;
+}
+
+}  // namespace dxbar

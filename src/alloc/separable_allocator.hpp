@@ -1,0 +1,40 @@
+// Separable output-first switch allocator (Becker & Dally style) used by
+// the generic buffered baseline routers.
+//
+// Stage 1: one arbiter per output port picks among the inputs requesting
+// it.  Stage 2: one arbiter per input port picks among the outputs that
+// granted it.  The result is a legal partial matching computed in a
+// single cycle, possibly leaving some matchable pairs unmatched — the
+// same quality/complexity trade-off real routers make.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "alloc/arbiter.hpp"
+#include "common/types.hpp"
+
+namespace dxbar {
+
+class SeparableAllocator {
+ public:
+  SeparableAllocator(int num_inputs, int num_outputs);
+
+  /// `requests[i]` is the bitmask of outputs input i wants.  Returns for
+  /// each input the granted output index or -1.  Each output is granted
+  /// to at most one input and vice versa.
+  [[nodiscard]] std::vector<int> allocate(
+      const std::vector<std::uint32_t>& requests);
+
+  [[nodiscard]] int num_inputs() const noexcept { return num_inputs_; }
+  [[nodiscard]] int num_outputs() const noexcept { return num_outputs_; }
+
+ private:
+  int num_inputs_;
+  int num_outputs_;
+  std::vector<RoundRobinArbiter> output_arbiters_;  ///< stage 1, per output
+  std::vector<RoundRobinArbiter> input_arbiters_;   ///< stage 2, per input
+};
+
+}  // namespace dxbar

@@ -1,0 +1,59 @@
+// Augmented separable output-first allocator for the unified dual-input
+// single crossbar (paper section II.B).
+//
+// Each of the five input ports can present TWO flits per cycle: the
+// bufferless incoming flit (I_k) and the buffered/injection flit (I_k').
+// Per output, a P:1 arbiter picks one *input port* among those whose
+// OR-combined request includes the output.  Per input port, two V:1
+// arbiters in series then bind up to two of the won outputs to the two
+// flits; because each arbiter selects an output without knowing which
+// flit requested it, the bindings can cross (I_k given the output only
+// I_k' wanted and vice versa) — the conflict-detection stage swaps them,
+// exactly the multiplexer fix of Fig. 4(c).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace dxbar {
+
+/// One flit's allocation request at an input port.
+struct UnifiedCandidate {
+  bool valid = false;
+  std::uint32_t request_mask = 0;  ///< bit o set: wants output port o
+  std::uint64_t age = 0;           ///< smaller == older == higher priority
+  bool elevated = false;           ///< fairness-flipped priority class
+};
+
+/// Requests of one input port: the bufferless (incoming) flit and the
+/// buffered (FIFO-head or injection) flit.
+struct UnifiedPortRequest {
+  UnifiedCandidate incoming;
+  UnifiedCandidate buffered;
+};
+
+/// Result per input port: output index granted to each flit, or -1.
+struct UnifiedPortGrant {
+  int incoming_out = -1;
+  int buffered_out = -1;
+};
+
+struct UnifiedGrants {
+  std::array<UnifiedPortGrant, kNumPorts> port{};
+  /// Number of times the conflict-free swap stage fired (statistics).
+  int swaps = 0;
+};
+
+class UnifiedAllocator {
+ public:
+  /// `incoming_priority` mirrors DXbar semantics: when true (the normal
+  /// case), incoming flits outrank buffered flits at the output arbiters;
+  /// the fairness counter flips it.
+  [[nodiscard]] UnifiedGrants allocate(
+      const std::array<UnifiedPortRequest, kNumPorts>& req,
+      bool incoming_priority) const;
+};
+
+}  // namespace dxbar

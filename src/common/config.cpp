@@ -1,0 +1,267 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace dxbar {
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+bool parse_double(std::string_view v, double& out) {
+  // std::from_chars<double> is not universally available; use strtod on a
+  // bounded copy.
+  std::string buf(v);
+  char* end = nullptr;
+  const double x = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return false;
+  out = x;
+  return true;
+}
+
+bool parse_int(std::string_view v, long long& out) {
+  auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  return ec == std::errc{} && p == v.data() + v.size();
+}
+
+}  // namespace
+
+bool parse_design(std::string_view name, RouterDesign& out) {
+  const std::string n = lower(name);
+  if (n == "bless" || n == "flit-bless" || n == "flitbless") {
+    out = RouterDesign::FlitBless;
+  } else if (n == "scarab") {
+    out = RouterDesign::Scarab;
+  } else if (n == "buffered4" || n == "buffered") {
+    out = RouterDesign::Buffered4;
+  } else if (n == "buffered8") {
+    out = RouterDesign::Buffered8;
+  } else if (n == "dxbar") {
+    out = RouterDesign::DXbar;
+  } else if (n == "unified" || n == "unifiedxbar") {
+    out = RouterDesign::UnifiedXbar;
+  } else if (n == "bufferedvc" || n == "vc") {
+    out = RouterDesign::BufferedVC;
+  } else if (n == "afc") {
+    out = RouterDesign::Afc;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_pattern(std::string_view name, TrafficPattern& out) {
+  const std::string n = lower(name);
+  if (n == "ur" || n == "uniform") {
+    out = TrafficPattern::UniformRandom;
+  } else if (n == "nur" || n == "hotspot") {
+    out = TrafficPattern::NonUniformRandom;
+  } else if (n == "br" || n == "bitreversal") {
+    out = TrafficPattern::BitReversal;
+  } else if (n == "bf" || n == "butterfly") {
+    out = TrafficPattern::Butterfly;
+  } else if (n == "cp" || n == "complement") {
+    out = TrafficPattern::Complement;
+  } else if (n == "mt" || n == "transpose") {
+    out = TrafficPattern::Transpose;
+  } else if (n == "ps" || n == "shuffle") {
+    out = TrafficPattern::PerfectShuffle;
+  } else if (n == "nb" || n == "neighbor") {
+    out = TrafficPattern::Neighbor;
+  } else if (n == "tor" || n == "tornado") {
+    out = TrafficPattern::Tornado;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_routing(std::string_view name, RoutingAlgo& out) {
+  const std::string n = lower(name);
+  if (n == "dor" || n == "xy") {
+    out = RoutingAlgo::DOR;
+  } else if (n == "wf" || n == "west-first" || n == "westfirst") {
+    out = RoutingAlgo::WestFirst;
+  } else if (n == "nf" || n == "negative-first" || n == "negativefirst") {
+    out = RoutingAlgo::NegativeFirst;
+  } else if (n == "nl" || n == "north-last" || n == "northlast") {
+    out = RoutingAlgo::NorthLast;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string SimConfig::validate() const {
+  if (mesh_width < 2 || mesh_height < 2) {
+    return "mesh must be at least 2x2";
+  }
+  if (buffer_depth < 1) return "buffer_depth must be >= 1";
+  if (fairness_threshold < 1) return "fairness_threshold must be >= 1";
+  if (stall_escape_delay < 1) return "stall_escape_delay must be >= 1";
+  if (num_vcs < 1) return "num_vcs must be >= 1";
+  if (design == RouterDesign::BufferedVC && buffer_depth % num_vcs != 0) {
+    return "buffer_depth must be divisible by num_vcs for the VC router";
+  }
+  if (offered_load < 0.0 || offered_load > 1.0) {
+    return "offered_load must lie in [0, 1]";
+  }
+  if (packet_length < 1) return "packet_length must be >= 1";
+  if (flit_bits < 1) return "flit_bits must be >= 1";
+  if (fault_fraction < 0.0 || fault_fraction > 1.0) {
+    return "fault_fraction must lie in [0, 1]";
+  }
+  if (link_fault_fraction < 0.0 || link_fault_fraction > 1.0) {
+    return "link_fault_fraction must lie in [0, 1]";
+  }
+  if (torus && (design == RouterDesign::Buffered4 ||
+                design == RouterDesign::Buffered8 ||
+                design == RouterDesign::BufferedVC)) {
+    // Wrap links close ring dependency cycles; without VC datelines the
+    // credit-based designs can deadlock on a torus.
+    return "torus requires a design with a deflection escape valve "
+           "(dxbar, unified, bless, scarab, afc)";
+  }
+  if (link_fault_fraction > 0.0 &&
+      (design == RouterDesign::Buffered4 ||
+       design == RouterDesign::Buffered8 ||
+       design == RouterDesign::BufferedVC)) {
+    // Fault-aware table routing abandons the turn-model acyclicity the
+    // credit-based routers rely on; without a deflection escape valve
+    // they can deadlock on a degraded topology.
+    return "link faults require a design with a deflection escape valve "
+           "(dxbar, unified, bless, scarab, afc)";
+  }
+  if (source_queue_depth < 1) return "source_queue_depth must be >= 1";
+  if (retransmit_buffer < 1) return "retransmit_buffer must be >= 1";
+  return {};
+}
+
+std::string SimConfig::describe() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "mesh              %dx%d%s\n"
+      "design            %s\n"
+      "routing           %s\n"
+      "pattern           %s\n"
+      "offered_load      %.3f\n"
+      "packet_length     %d flits (%d bits each)\n"
+      "buffer_depth      %d\n"
+      "num_vcs           %d\n"
+      "fairness          %d\n"
+      "stall_escape      %d\n"
+      "phases            warmup %llu / measure %llu / drain %llu\n"
+      "faults            crossbar %.2f (detect %llu, spread %llu), "
+      "links %.2f\n"
+      "seed              %llu\n",
+      mesh_width, mesh_height, torus ? " torus" : "",
+      std::string(to_string(design)).c_str(),
+      std::string(to_string(routing)).c_str(),
+      std::string(to_string(pattern)).c_str(), offered_load, packet_length,
+      flit_bits, buffer_depth, num_vcs, fairness_threshold,
+      stall_escape_delay, static_cast<unsigned long long>(warmup_cycles),
+      static_cast<unsigned long long>(measure_cycles),
+      static_cast<unsigned long long>(drain_cycles), fault_fraction,
+      static_cast<unsigned long long>(fault_detect_delay),
+      static_cast<unsigned long long>(fault_onset_spread),
+      link_fault_fraction, static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+std::string apply_override(SimConfig& cfg, std::string_view arg) {
+  const auto eq = arg.find('=');
+  if (eq == std::string_view::npos) {
+    return "expected key=value, got '" + std::string(arg) + "'";
+  }
+  const std::string key = lower(arg.substr(0, eq));
+  const std::string_view val = arg.substr(eq + 1);
+
+  auto bad = [&] { return "bad value for '" + key + "'"; };
+
+  long long i = 0;
+  double d = 0.0;
+  if (key == "width") {
+    if (!parse_int(val, i)) return bad();
+    cfg.mesh_width = static_cast<int>(i);
+  } else if (key == "height") {
+    if (!parse_int(val, i)) return bad();
+    cfg.mesh_height = static_cast<int>(i);
+  } else if (key == "topology") {
+    const std::string t = lower(val);
+    if (t == "torus") {
+      cfg.torus = true;
+    } else if (t == "mesh") {
+      cfg.torus = false;
+    } else {
+      return bad();
+    }
+  } else if (key == "design") {
+    if (!parse_design(val, cfg.design)) return bad();
+  } else if (key == "routing") {
+    if (!parse_routing(val, cfg.routing)) return bad();
+  } else if (key == "pattern") {
+    if (!parse_pattern(val, cfg.pattern)) return bad();
+  } else if (key == "buffer_depth") {
+    if (!parse_int(val, i)) return bad();
+    cfg.buffer_depth = static_cast<int>(i);
+  } else if (key == "fairness_threshold") {
+    if (!parse_int(val, i)) return bad();
+    cfg.fairness_threshold = static_cast<int>(i);
+  } else if (key == "stall_escape") {
+    if (!parse_int(val, i)) return bad();
+    cfg.stall_escape_delay = static_cast<int>(i);
+  } else if (key == "num_vcs") {
+    if (!parse_int(val, i)) return bad();
+    cfg.num_vcs = static_cast<int>(i);
+  } else if (key == "load") {
+    if (!parse_double(val, d)) return bad();
+    cfg.offered_load = d;
+  } else if (key == "packet_length") {
+    if (!parse_int(val, i)) return bad();
+    cfg.packet_length = static_cast<int>(i);
+  } else if (key == "warmup") {
+    if (!parse_int(val, i)) return bad();
+    cfg.warmup_cycles = static_cast<Cycle>(i);
+  } else if (key == "measure") {
+    if (!parse_int(val, i)) return bad();
+    cfg.measure_cycles = static_cast<Cycle>(i);
+  } else if (key == "drain") {
+    if (!parse_int(val, i)) return bad();
+    cfg.drain_cycles = static_cast<Cycle>(i);
+  } else if (key == "faults") {
+    if (!parse_double(val, d)) return bad();
+    cfg.fault_fraction = d;
+  } else if (key == "link_faults") {
+    if (!parse_double(val, d)) return bad();
+    cfg.link_fault_fraction = d;
+  } else if (key == "fault_onset_spread") {
+    if (!parse_int(val, i)) return bad();
+    cfg.fault_onset_spread = static_cast<Cycle>(i);
+  } else if (key == "seed") {
+    if (!parse_int(val, i)) return bad();
+    cfg.seed = static_cast<std::uint64_t>(i);
+  } else {
+    return "unknown key '" + key + "'";
+  }
+  return {};
+}
+
+std::string apply_overrides(SimConfig& cfg,
+                            std::span<const char* const> args) {
+  for (const char* a : args) {
+    if (auto err = apply_override(cfg, a); !err.empty()) return err;
+  }
+  return {};
+}
+
+}  // namespace dxbar

@@ -1,0 +1,62 @@
+// Tiny fixed-capacity inline vector for hot-path port lists (no heap).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+namespace dxbar {
+
+template <typename T, std::size_t N>
+class SmallVec {
+ public:
+  void push_back(T v) {
+    assert(size_ < N);
+    data_[size_++] = v;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+  [[nodiscard]] T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+  [[nodiscard]] T* begin() noexcept { return data_; }
+  [[nodiscard]] T* end() noexcept { return data_ + size_; }
+  void clear() noexcept { size_ = 0; }
+
+  [[nodiscard]] bool contains(const T& v) const noexcept {
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (data_[i] == v) return true;
+    }
+    return false;
+  }
+
+ private:
+  T data_[N] = {};
+  std::size_t size_ = 0;
+};
+
+/// Stable insertion sort for tiny ranges.  Used instead of std::sort on
+/// SmallVec contents: the ranges never exceed a handful of elements and
+/// std::sort's 16-element insertion threshold trips GCC's array-bounds
+/// analysis on fixed-size storage.
+template <typename T, std::size_t N, typename Less>
+void insertion_sort(SmallVec<T, N>& v, Less less) {
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    T key = v[i];
+    std::size_t j = i;
+    while (j > 0 && less(key, v[j - 1])) {
+      v[j] = v[j - 1];
+      --j;
+    }
+    v[j] = key;
+  }
+}
+
+}  // namespace dxbar

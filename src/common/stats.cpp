@@ -1,0 +1,87 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dxbar {
+namespace {
+
+/// Nearest-rank percentile of a sorted sample.
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+RunStats StatsCollector::summarize(double offered_load, bool drained) const {
+  RunStats out;
+  out.offered_load = offered_load;
+  out.cycles = window_end_ - window_start_;
+  out.flits_ejected = window_flits_ejected_;
+  out.flits_injected = window_flits_injected_;
+  out.drained = drained;
+
+  if (out.cycles > 0 && num_nodes_ > 0) {
+    out.accepted_load = static_cast<double>(window_flits_ejected_) /
+                        (static_cast<double>(out.cycles) * num_nodes_);
+
+    if (out.cycles >= kBatches) {
+      const double batch_cycles =
+          static_cast<double>(out.cycles) / kBatches;
+      double mean = 0.0;
+      for (auto b : batch_ejections_) {
+        mean += static_cast<double>(b) / (batch_cycles * num_nodes_);
+      }
+      mean /= kBatches;
+      double var = 0.0;
+      for (auto b : batch_ejections_) {
+        const double x = static_cast<double>(b) / (batch_cycles * num_nodes_);
+        var += (x - mean) * (x - mean);
+      }
+      out.accepted_load_stddev = std::sqrt(var / kBatches);
+    }
+  }
+
+  out.packets_completed = window_packets_.size();
+  if (!window_packets_.empty()) {
+    double lat = 0.0;
+    double net_lat = 0.0;
+    double hops = 0.0;
+    double defl = 0.0;
+    double retx = 0.0;
+    double flits = 0.0;
+    for (const PacketRecord& p : window_packets_) {
+      lat += static_cast<double>(p.latency());
+      net_lat += static_cast<double>(p.network_latency());
+      hops += static_cast<double>(p.total_hops);
+      defl += static_cast<double>(p.total_deflections);
+      retx += static_cast<double>(p.total_retransmits);
+      flits += static_cast<double>(p.length);
+    }
+    const auto n = static_cast<double>(window_packets_.size());
+    out.avg_packet_latency = lat / n;
+    out.avg_network_latency = net_lat / n;
+
+    std::vector<double> sorted;
+    sorted.reserve(window_packets_.size());
+    for (const PacketRecord& p : window_packets_) {
+      sorted.push_back(static_cast<double>(p.latency()));
+    }
+    std::sort(sorted.begin(), sorted.end());
+    out.latency_p50 = percentile(sorted, 0.50);
+    out.latency_p95 = percentile(sorted, 0.95);
+    out.latency_p99 = percentile(sorted, 0.99);
+    out.latency_max = sorted.back();
+    if (flits > 0.0) {
+      out.avg_hops = hops / flits;
+      out.deflections_per_flit = defl / flits;
+      out.retransmits_per_flit = retx / flits;
+    }
+  }
+  return out;
+}
+
+}  // namespace dxbar

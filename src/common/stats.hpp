@@ -1,0 +1,151 @@
+// Measurement-window statistics collection.
+//
+// The collector tags each packet by whether it was created inside the
+// measurement window; throughput counts flit ejections during the window
+// and latency averages only window packets, the standard open-loop
+// methodology (warmup / measure / drain).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/flit.hpp"
+#include "common/types.hpp"
+
+namespace dxbar {
+
+/// Aggregate results of one simulation run, in the units the paper plots.
+struct RunStats {
+  double offered_load = 0.0;    ///< configured fraction of capacity
+  double accepted_load = 0.0;   ///< ejected flits / node / cycle (fraction)
+  /// Standard deviation of the accepted load across 8 equal sub-batches
+  /// of the measurement window — a warm-up/stationarity sanity signal.
+  double accepted_load_stddev = 0.0;
+  double avg_packet_latency = 0.0;   ///< cycles, creation -> completion
+  double avg_network_latency = 0.0;  ///< cycles, injection -> completion
+  // Packet-latency distribution over window packets (cycles).
+  double latency_p50 = 0.0;
+  double latency_p95 = 0.0;
+  double latency_p99 = 0.0;
+  double latency_max = 0.0;
+  double avg_hops = 0.0;             ///< link traversals per flit
+  double deflections_per_flit = 0.0;
+  double retransmits_per_flit = 0.0;
+  std::uint64_t packets_completed = 0;
+  std::uint64_t flits_ejected = 0;
+  std::uint64_t flits_injected = 0;
+  std::uint64_t cycles = 0;       ///< measurement window length
+  int packet_length = 1;          ///< flits per packet (for per-packet energy)
+  bool drained = false;           ///< all in-flight traffic delivered
+  // Energy (nJ) accumulated over the measurement window, split by source.
+  double energy_buffer_nj = 0.0;
+  double energy_crossbar_nj = 0.0;
+  double energy_link_nj = 0.0;
+  double energy_control_nj = 0.0;  ///< NACK network, retransmission control
+
+  [[nodiscard]] double total_energy_nj() const noexcept {
+    return energy_buffer_nj + energy_crossbar_nj + energy_link_nj +
+           energy_control_nj;
+  }
+  /// Energy per delivered flit over the measurement window (nJ).  Both
+  /// numerator and denominator are window-scoped, so the metric stays
+  /// unbiased past saturation.
+  [[nodiscard]] double energy_per_flit_nj() const noexcept {
+    return flits_ejected == 0
+               ? 0.0
+               : total_energy_nj() / static_cast<double>(flits_ejected);
+  }
+  /// Average energy per delivered packet (nJ), the paper's Fig 6/8
+  /// metric: window energy per ejected flit scaled by the packet length.
+  [[nodiscard]] double energy_per_packet_nj() const noexcept {
+    return energy_per_flit_nj() * packet_length;
+  }
+};
+
+/// Collects per-packet records and distils them into RunStats.
+class StatsCollector {
+ public:
+  StatsCollector(Cycle window_start, Cycle window_end, int num_nodes)
+      : window_start_(window_start),
+        window_end_(window_end),
+        num_nodes_(num_nodes) {}
+
+  static constexpr int kBatches = 8;
+
+  /// A flit left the network at its destination at cycle `now`.
+  void on_flit_ejected(const Flit& f, Cycle now) noexcept {
+    if (now >= window_start_ && now < window_end_) {
+      ++window_flits_ejected_;
+      const Cycle span = window_end_ - window_start_;
+      if (span >= kBatches) {
+        const auto b = static_cast<std::size_t>(
+            (now - window_start_) * kBatches / span);
+        ++batch_ejections_[b < kBatches ? b : kBatches - 1];
+      }
+    }
+    (void)f;
+  }
+
+  /// A flit entered the network (left a source queue) at cycle `now`.
+  void on_flit_injected(const Flit& f, Cycle now) noexcept {
+    if (now >= window_start_ && now < window_end_) ++window_flits_injected_;
+    (void)f;
+  }
+
+  /// A packet finished reassembly.  Only packets *created* during the
+  /// window contribute to latency averages.
+  void on_packet_completed(const PacketRecord& rec) {
+    if (rec.created >= window_start_ && rec.created < window_end_) {
+      window_packets_.push_back(rec);
+    }
+  }
+
+  [[nodiscard]] Cycle window_start() const noexcept { return window_start_; }
+  [[nodiscard]] Cycle window_end() const noexcept { return window_end_; }
+  [[nodiscard]] std::uint64_t window_flits_ejected() const noexcept {
+    return window_flits_ejected_;
+  }
+  [[nodiscard]] const std::vector<PacketRecord>& window_packets()
+      const noexcept {
+    return window_packets_;
+  }
+
+  /// Summarises into RunStats (energy fields are filled by the caller).
+  [[nodiscard]] RunStats summarize(double offered_load, bool drained) const;
+
+ private:
+  Cycle window_start_;
+  Cycle window_end_;
+  int num_nodes_;
+  std::uint64_t window_flits_ejected_ = 0;
+  std::array<std::uint64_t, kBatches> batch_ejections_{};
+  std::uint64_t window_flits_injected_ = 0;
+  std::vector<PacketRecord> window_packets_;
+};
+
+/// Online mean/min/max accumulator used in benches.
+class Accumulator {
+ public:
+  void add(double x) noexcept {
+    sum_ += x;
+    ++n_;
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  [[nodiscard]] double mean() const noexcept {
+    return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_);
+  }
+  [[nodiscard]] double min() const noexcept { return n_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const noexcept { return n_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+
+ private:
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  std::uint64_t n_ = 0;
+};
+
+}  // namespace dxbar

@@ -1,0 +1,158 @@
+// Core scalar types and port/direction vocabulary shared by every module.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace dxbar {
+
+/// Simulation time in router clock cycles (1 GHz nominal clock).
+using Cycle = std::uint64_t;
+
+/// Flat node index into the mesh (row-major: id = y * width + x).
+using NodeId = std::uint32_t;
+
+/// Monotonically increasing packet identifier, unique per simulation.
+using PacketId = std::uint64_t;
+
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/// The four cardinal link directions plus the local PE port.
+/// The numeric values index port arrays throughout the router models.
+enum class Direction : std::uint8_t {
+  East = 0,   ///< x+
+  West = 1,   ///< x-
+  North = 2,  ///< y+
+  South = 3,  ///< y-
+  Local = 4,  ///< processing-element injection/ejection port
+};
+
+inline constexpr int kNumLinkDirs = 4;   ///< cardinal link ports per router
+inline constexpr int kNumPorts = 5;      ///< link ports + local port
+
+/// All directions including Local, in index order.
+inline constexpr std::array<Direction, kNumPorts> kAllPorts = {
+    Direction::East, Direction::West, Direction::North, Direction::South,
+    Direction::Local};
+
+/// The four link directions only.
+inline constexpr std::array<Direction, kNumLinkDirs> kLinkDirs = {
+    Direction::East, Direction::West, Direction::North, Direction::South};
+
+constexpr int port_index(Direction d) noexcept {
+  return static_cast<int>(d);
+}
+
+constexpr Direction port_from_index(int i) noexcept {
+  return static_cast<Direction>(i);
+}
+
+/// The direction a flit arriving over `d` came *from* at the receiver
+/// (East output feeds the West input of the x+ neighbour, etc.).
+constexpr Direction opposite(Direction d) noexcept {
+  switch (d) {
+    case Direction::East: return Direction::West;
+    case Direction::West: return Direction::East;
+    case Direction::North: return Direction::South;
+    case Direction::South: return Direction::North;
+    case Direction::Local: return Direction::Local;
+  }
+  return Direction::Local;
+}
+
+constexpr std::string_view to_string(Direction d) noexcept {
+  switch (d) {
+    case Direction::East: return "E";
+    case Direction::West: return "W";
+    case Direction::North: return "N";
+    case Direction::South: return "S";
+    case Direction::Local: return "L";
+  }
+  return "?";
+}
+
+/// Router microarchitectures evaluated in the paper (Figs 5-12), plus
+/// extension baselines built on the same substrates.
+enum class RouterDesign : std::uint8_t {
+  FlitBless,    ///< bufferless deflection routing [Moscibroda & Mutlu]
+  Scarab,       ///< bufferless drop + NACK retransmission [Hayenga et al.]
+  Buffered4,    ///< generic router, one 4-flit FIFO per input
+  Buffered8,    ///< generic router, two 4-flit FIFOs per input (no HoL)
+  DXbar,        ///< proposed dual-crossbar router
+  UnifiedXbar,  ///< proposed dual-input single-crossbar router
+  BufferedVC,   ///< extension: VC router w/ speculative SA (Fig 2(c) style)
+  Afc,          ///< extension: adaptive bufferless/buffered switching [AFC]
+};
+
+constexpr std::string_view to_string(RouterDesign d) noexcept {
+  switch (d) {
+    case RouterDesign::FlitBless: return "Flit-Bless";
+    case RouterDesign::Scarab: return "SCARAB";
+    case RouterDesign::Buffered4: return "Buffered 4";
+    case RouterDesign::Buffered8: return "Buffered 8";
+    case RouterDesign::DXbar: return "DXbar";
+    case RouterDesign::UnifiedXbar: return "Unified Xbar";
+    case RouterDesign::BufferedVC: return "Buffered VC";
+    case RouterDesign::Afc: return "AFC";
+  }
+  return "?";
+}
+
+/// The nine synthetic traffic patterns of the paper's evaluation.
+enum class TrafficPattern : std::uint8_t {
+  UniformRandom,     ///< UR
+  NonUniformRandom,  ///< NUR: 25% extra traffic to a hot-spot node group
+  BitReversal,       ///< BR
+  Butterfly,         ///< BF: swap MSB and LSB of the node index
+  Complement,        ///< CP
+  Transpose,         ///< MT: (x, y) -> (y, x)
+  PerfectShuffle,    ///< PS: rotate node-index bits left by one
+  Neighbor,          ///< NB: (x+1 mod W, y)
+  Tornado,           ///< TOR: (x + ceil(W/2) - 1 mod W, y)
+};
+
+inline constexpr int kNumPatterns = 9;
+
+inline constexpr std::array<TrafficPattern, kNumPatterns> kAllPatterns = {
+    TrafficPattern::UniformRandom, TrafficPattern::NonUniformRandom,
+    TrafficPattern::BitReversal,   TrafficPattern::Butterfly,
+    TrafficPattern::Complement,    TrafficPattern::Transpose,
+    TrafficPattern::PerfectShuffle, TrafficPattern::Neighbor,
+    TrafficPattern::Tornado};
+
+constexpr std::string_view to_string(TrafficPattern p) noexcept {
+  switch (p) {
+    case TrafficPattern::UniformRandom: return "UR";
+    case TrafficPattern::NonUniformRandom: return "NUR";
+    case TrafficPattern::BitReversal: return "BR";
+    case TrafficPattern::Butterfly: return "BF";
+    case TrafficPattern::Complement: return "CP";
+    case TrafficPattern::Transpose: return "MT";
+    case TrafficPattern::PerfectShuffle: return "PS";
+    case TrafficPattern::Neighbor: return "NB";
+    case TrafficPattern::Tornado: return "TOR";
+  }
+  return "?";
+}
+
+/// Routing algorithms: the paper evaluates DOR and West-First; the
+/// other turn models are extensions on the same interface.
+enum class RoutingAlgo : std::uint8_t {
+  DOR,            ///< dimension-ordered (XY) deterministic routing
+  WestFirst,      ///< west-first minimal adaptive (turn model)
+  NegativeFirst,  ///< extension: negative-first minimal adaptive
+  NorthLast,      ///< extension: north-last minimal adaptive
+};
+
+constexpr std::string_view to_string(RoutingAlgo a) noexcept {
+  switch (a) {
+    case RoutingAlgo::DOR: return "DOR";
+    case RoutingAlgo::WestFirst: return "WF";
+    case RoutingAlgo::NegativeFirst: return "NF";
+    case RoutingAlgo::NorthLast: return "NL";
+  }
+  return "?";
+}
+
+}  // namespace dxbar

@@ -1,0 +1,40 @@
+#include "core/dxbar.hpp"
+
+namespace dxbar {
+
+std::string_view version() { return "1.0.0"; }
+
+std::vector<LoadPoint> load_sweep(const SimConfig& base,
+                                  const std::vector<double>& loads,
+                                  unsigned threads) {
+  std::vector<SimConfig> cfgs;
+  cfgs.reserve(loads.size());
+  for (double l : loads) {
+    SimConfig c = base;
+    c.offered_load = l;
+    cfgs.push_back(c);
+  }
+  const std::vector<RunStats> stats = run_sweep(cfgs, threads);
+
+  std::vector<LoadPoint> out(loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    out[i] = {loads[i], stats[i]};
+  }
+  return out;
+}
+
+double find_saturation(const SimConfig& base, double step, double max_load,
+                       double acceptance_ratio, unsigned threads) {
+  std::vector<double> loads;
+  for (double l = step; l <= max_load + 1e-9; l += step) loads.push_back(l);
+
+  const std::vector<LoadPoint> points = load_sweep(base, loads, threads);
+  for (const LoadPoint& p : points) {
+    if (p.stats.accepted_load < acceptance_ratio * p.offered_load) {
+      return p.offered_load;
+    }
+  }
+  return max_load;
+}
+
+}  // namespace dxbar

@@ -1,0 +1,44 @@
+#include "fault/fault_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace dxbar {
+
+FaultPlan::FaultPlan(int num_routers, double fraction, std::uint64_t seed,
+                     Cycle onset_spread, Cycle detect_delay)
+    : faults_(static_cast<std::size_t>(num_routers)),
+      detect_delay_(detect_delay) {
+  if (fraction <= 0.0 || num_routers <= 0) return;
+
+  // One permutation per seed; the first ceil(f*N) entries are faulty, so
+  // fault sets grow monotonically with the fraction (paper methodology).
+  std::vector<NodeId> order(static_cast<std::size_t>(num_routers));
+  std::iota(order.begin(), order.end(), NodeId{0});
+  Rng rng(seed ^ 0xFA017EEDULL);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(static_cast<std::uint32_t>(i))]);
+  }
+
+  num_faulty_ = std::min(
+      num_routers,
+      static_cast<int>(std::ceil(fraction * static_cast<double>(num_routers))));
+
+  for (int k = 0; k < num_faulty_; ++k) {
+    RouterFault& f = faults_[order[static_cast<std::size_t>(k)]];
+    f.faulty = true;
+    // Which crossbar fails and when derive from per-router draws so they
+    // are stable as the fraction grows.
+    f.failed = rng.bernoulli(0.5) ? CrossbarKind::Primary
+                                  : CrossbarKind::Secondary;
+    f.onset = onset_spread <= 1
+                  ? 0
+                  : static_cast<Cycle>(
+                        rng.below(static_cast<std::uint32_t>(onset_spread)));
+  }
+}
+
+}  // namespace dxbar

@@ -1,0 +1,79 @@
+#include "fault/link_faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace dxbar {
+
+bool LinkFaultPlan::connected_without(const Mesh& mesh, NodeId a,
+                                      Direction d) const {
+  // BFS over live links, additionally treating (a, d) and its reverse as
+  // dead, starting from node 0; connected iff all nodes reached.
+  const auto nb = mesh.neighbor(a, d);
+  if (!nb) return true;
+  const NodeId b = *nb;
+
+  std::vector<bool> seen(static_cast<std::size_t>(mesh.num_nodes()), false);
+  std::vector<NodeId> queue{0};
+  seen[0] = true;
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const NodeId cur = queue[head++];
+    for (Direction dir : kLinkDirs) {
+      if (!alive(cur, dir)) continue;
+      if ((cur == a && dir == d) || (cur == b && dir == opposite(d))) {
+        continue;
+      }
+      const auto next = mesh.neighbor(cur, dir);
+      if (!next || seen[*next]) continue;
+      seen[*next] = true;
+      queue.push_back(*next);
+    }
+  }
+  return queue.size() == static_cast<std::size_t>(mesh.num_nodes());
+}
+
+LinkFaultPlan::LinkFaultPlan(const Mesh& mesh, double fraction,
+                             std::uint64_t seed)
+    : dead_(static_cast<std::size_t>(mesh.num_nodes()) * kNumLinkDirs,
+            false) {
+  if (fraction <= 0.0) return;
+
+  // Undirected edges, represented by their East/North endpoint.
+  struct Edge {
+    NodeId node;
+    Direction dir;
+  };
+  std::vector<Edge> edges;
+  for (NodeId n = 0; n < static_cast<NodeId>(mesh.num_nodes()); ++n) {
+    for (Direction d : {Direction::East, Direction::North}) {
+      if (mesh.has_link(n, d)) edges.push_back({n, d});
+    }
+  }
+
+  // Seeded shuffle, then kill the first ceil(f*E) edges that do not
+  // disconnect the mesh — monotone in `fraction` for a fixed seed.
+  Rng rng(seed ^ 0x11FA17ULL);
+  for (std::size_t i = edges.size(); i > 1; --i) {
+    std::swap(edges[i - 1], edges[rng.below(static_cast<std::uint32_t>(i))]);
+  }
+  const int target = std::min(
+      static_cast<int>(edges.size()),
+      static_cast<int>(std::ceil(fraction * static_cast<double>(edges.size()))));
+
+  for (const Edge& e : edges) {
+    if (dead_edges_ >= target) break;
+    if (!connected_without(mesh, e.node, e.dir)) continue;
+    const NodeId other = *mesh.neighbor(e.node, e.dir);
+    dead_[static_cast<std::size_t>(e.node) * kNumLinkDirs +
+          port_index(e.dir)] = true;
+    dead_[static_cast<std::size_t>(other) * kNumLinkDirs +
+          port_index(opposite(e.dir))] = true;
+    ++dead_edges_;
+  }
+}
+
+}  // namespace dxbar

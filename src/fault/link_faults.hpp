@@ -1,0 +1,50 @@
+// Extension: link fault injection.
+//
+// The paper studies crossbar faults inside the router; failed *links*
+// are the natural companion experiment.  A link fault kills both
+// directions of a mesh edge (a broken wire bundle).  The plan keeps the
+// mesh connected — an edge whose removal would disconnect the network is
+// skipped — and, like FaultPlan, grows monotonically with the fraction
+// for a fixed seed.
+//
+// Routing around dead links uses the fault-aware RouteTable (BFS over
+// live edges); see routing/route_table.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/mesh.hpp"
+
+namespace dxbar {
+
+class LinkFaultPlan {
+ public:
+  /// Kills up to `fraction` of the mesh's undirected edges (both
+  /// directions), never disconnecting the network.
+  LinkFaultPlan(const Mesh& mesh, double fraction, std::uint64_t seed);
+
+  /// No link faults.
+  static LinkFaultPlan none(const Mesh& mesh) {
+    return LinkFaultPlan(mesh, 0.0, 0);
+  }
+
+  /// True when the directed link (node, dir) is operational.
+  [[nodiscard]] bool alive(NodeId node, Direction dir) const {
+    if (dir == Direction::Local) return true;
+    return !dead_[static_cast<std::size_t>(node) * kNumLinkDirs +
+                  port_index(dir)];
+  }
+
+  [[nodiscard]] int num_dead_edges() const noexcept { return dead_edges_; }
+  [[nodiscard]] bool any() const noexcept { return dead_edges_ > 0; }
+
+ private:
+  [[nodiscard]] bool connected_without(const Mesh& mesh, NodeId a,
+                                       Direction d) const;
+
+  std::vector<bool> dead_;  ///< per directed link
+  int dead_edges_ = 0;
+};
+
+}  // namespace dxbar

@@ -1,0 +1,50 @@
+#include "power/energy_model.hpp"
+
+namespace dxbar {
+
+EnergyParams energy_params(RouterDesign design) {
+  EnergyParams p;
+  switch (design) {
+    case RouterDesign::UnifiedXbar:
+      // Transmission gates on every output segment (paper: 15 pJ/flit).
+      p.crossbar_pj = 15.0;
+      break;
+    case RouterDesign::Buffered8:
+      // Two 4-flit FIFOs per input: longer bitlines, higher access energy.
+      p.buffer_write_pj *= 1.25;
+      p.buffer_read_pj *= 1.25;
+      break;
+    default:
+      break;
+  }
+  return p;
+}
+
+double router_area_mm2(RouterDesign design, const AreaParams& p) {
+  switch (design) {
+    case RouterDesign::FlitBless:
+      return p.crossbar_mm2 + p.links_mm2;
+    case RouterDesign::Scarab:
+      return p.crossbar_mm2 + p.links_mm2 + p.nack_logic_mm2;
+    case RouterDesign::Buffered4:
+      return p.crossbar_mm2 + p.buffer_bank_mm2 + p.links_mm2;
+    case RouterDesign::Buffered8:
+      return p.crossbar_mm2 + 2.0 * p.buffer_bank_mm2 + p.links_mm2;
+    case RouterDesign::DXbar:
+      return 2.0 * p.crossbar_mm2 + p.buffer_bank_mm2 + p.links_mm2;
+    case RouterDesign::UnifiedXbar:
+      return p.unified_crossbar_mm2 + p.buffer_bank_mm2 + p.links_mm2;
+    case RouterDesign::BufferedVC:
+      // Same storage as Buffered 4 plus VC allocation logic (~the NACK
+      // circuit's footprint — both are small control blocks).
+      return p.crossbar_mm2 + p.buffer_bank_mm2 + p.links_mm2 +
+             p.nack_logic_mm2;
+    case RouterDesign::Afc:
+      // Buffered 4 storage plus the mode-switching control logic.
+      return p.crossbar_mm2 + p.buffer_bank_mm2 + p.links_mm2 +
+             p.nack_logic_mm2;
+  }
+  return 0.0;
+}
+
+}  // namespace dxbar

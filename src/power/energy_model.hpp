@@ -1,0 +1,105 @@
+// Energy and area model (paper Table III: TSMC 65 nm, 1.0 V, 1 GHz,
+// 128-bit flits).
+//
+// The paper reports crossbar energy of 13 pJ/flit (15 pJ/flit for the
+// unified crossbar's transmission gates) and link energy of 36 pJ per
+// 128-bit flit traversal.  The buffer access energies and the absolute
+// area figures are garbled in the available paper text; the constants
+// below are literature-consistent 65 nm values reconstructed to satisfy
+// every relation the prose states (DXbar = 1.33x Flit-Bless area,
+// Unified = 1.25x, Buffered4 < DXbar < Buffered8, buffer bank area >
+// crossbar area).  See EXPERIMENTS.md for the derivation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace dxbar {
+
+/// Per-event energies in picojoules per 128-bit flit.
+struct EnergyParams {
+  double crossbar_pj = 13.0;       ///< one crossbar traversal
+  double link_pj = 36.0;           ///< one link traversal
+  double buffer_write_pj = 2.8;    ///< one FIFO write
+  double buffer_read_pj = 2.2;     ///< one FIFO read
+  double nack_hop_pj = 1.5;        ///< one hop on the 1-bit NACK network
+};
+
+/// Energy parameters for a router design (unified crossbar costs 15 pJ,
+/// Buffered8's larger buffer organisation costs 1.25x per access).
+EnergyParams energy_params(RouterDesign design);
+
+/// Router area decomposition in mm^2 (per router, 65 nm).
+struct AreaParams {
+  double crossbar_mm2 = 0.0142;        ///< one 5x5 matrix crossbar
+  double unified_crossbar_mm2 = 0.0209;  ///< 5x5 + transmission gates
+  double buffer_bank_mm2 = 0.0169;     ///< four 4-flit input FIFOs
+  double links_mm2 = 0.0800;           ///< four input links
+  double nack_logic_mm2 = 0.0020;      ///< SCARAB NACK circuit switch
+};
+
+/// Total per-router area for a design (paper Table III column 1).
+double router_area_mm2(RouterDesign design, const AreaParams& p = {});
+
+/// Critical-path timing reported by the paper (ns; both < 1 ns cycle).
+struct TimingParams {
+  double link_traversal_ns = 0.47;
+  double unified_switch_ns = 0.27;
+};
+
+/// Per-category energy accumulator.  Routers report events; the meter
+/// converts them to nanojoules using the design's parameters.  Recording
+/// is gated by `set_enabled` so only the measurement window accumulates.
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(RouterDesign design)
+      : params_(energy_params(design)) {}
+
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  void crossbar_traversal() noexcept {
+    if (enabled_) crossbar_pj_ += params_.crossbar_pj;
+  }
+  void link_traversal() noexcept {
+    if (enabled_) link_pj_ += params_.link_pj;
+  }
+  void buffer_write() noexcept {
+    if (enabled_) buffer_pj_ += params_.buffer_write_pj;
+  }
+  void buffer_read() noexcept {
+    if (enabled_) buffer_pj_ += params_.buffer_read_pj;
+  }
+  void nack_hops(int hops) noexcept {
+    if (enabled_) control_pj_ += params_.nack_hop_pj * hops;
+  }
+
+  [[nodiscard]] double buffer_nj() const noexcept { return buffer_pj_ * 1e-3; }
+  [[nodiscard]] double crossbar_nj() const noexcept {
+    return crossbar_pj_ * 1e-3;
+  }
+  [[nodiscard]] double link_nj() const noexcept { return link_pj_ * 1e-3; }
+  [[nodiscard]] double control_nj() const noexcept {
+    return control_pj_ * 1e-3;
+  }
+  [[nodiscard]] double total_nj() const noexcept {
+    return buffer_nj() + crossbar_nj() + link_nj() + control_nj();
+  }
+
+  void reset() noexcept {
+    buffer_pj_ = crossbar_pj_ = link_pj_ = control_pj_ = 0.0;
+  }
+
+  [[nodiscard]] const EnergyParams& params() const noexcept { return params_; }
+
+ private:
+  EnergyParams params_;
+  bool enabled_ = true;
+  double buffer_pj_ = 0.0;
+  double crossbar_pj_ = 0.0;
+  double link_pj_ = 0.0;
+  double control_pj_ = 0.0;
+};
+
+}  // namespace dxbar

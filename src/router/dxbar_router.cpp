@@ -1,0 +1,403 @@
+#include "router/dxbar_router.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "routing/deflect.hpp"
+
+namespace dxbar {
+namespace {
+
+/// An arbitration candidate: where the flit currently sits.
+struct Candidate {
+  enum class Kind { Incoming, BufferHead, Injection };
+  Kind kind;
+  int dir;  ///< input link index for Incoming/BufferHead; unused otherwise
+  Flit flit;
+};
+
+void sort_by_age(SmallVec<Candidate, kNumPorts>& v) {
+  insertion_sort(v, [](const Candidate& a, const Candidate& b) {
+    return a.flit.older_than(b.flit);
+  });
+}
+
+}  // namespace
+
+DXbarRouter::DXbarRouter(NodeId id, const RouterEnv& env)
+    : Router(id, env),
+      buffers_{FixedQueue<Flit>(static_cast<std::size_t>(env.cfg->buffer_depth)),
+               FixedQueue<Flit>(static_cast<std::size_t>(env.cfg->buffer_depth)),
+               FixedQueue<Flit>(static_cast<std::size_t>(env.cfg->buffer_depth)),
+               FixedQueue<Flit>(static_cast<std::size_t>(env.cfg->buffer_depth))},
+      fairness_(env.cfg->fairness_threshold) {}
+
+std::optional<Direction> DXbarRouter::pick_output(const Flit& f,
+                                                  AllocState& st,
+                                                  bool ignore_stop) {
+  for (Direction d : routes(f.dst)) {
+    const int i = port_index(d);
+    if (st.taken[static_cast<std::size_t>(i)]) {
+      continue;
+    }
+    if (d != Direction::Local &&
+        !(ignore_stop ? can_send_ignoring_stop(d) : can_send(d))) {
+      continue;
+    }
+    st.taken[static_cast<std::size_t>(i)] = true;
+    return d;
+  }
+  ++contention_stalls_;
+  return std::nullopt;
+}
+
+void DXbarRouter::divert_to_buffer(Direction from, const Flit& f) {
+  const bool ok = buffers_[port_index(from)].push(f);
+  assert(ok && "divert_to_buffer requires a free slot");
+  (void)ok;
+  env_.energy->buffer_write();
+  ++buffered_diversions_;
+}
+
+void DXbarRouter::deflect(Flit f, AllocState& st, bool via_primary) {
+  // Bufferless escape valve: a losing flit whose FIFO is full takes the
+  // best free link port (productive first).  An assignment always exists
+  // because at most `degree` incoming flits contend and the must-deflect
+  // flits are placed before any lower-priority phase can claim ports.
+  const auto ranking =
+      deflection_order(f, f.packet * 0x9E3779B97F4A7C15ULL + f.hops);
+  for (Direction d : ranking) {
+    const int i = port_index(d);
+    if (st.taken[static_cast<std::size_t>(i)]) continue;
+    if (!link_alive(d) || !can_send_ignoring_stop(d)) continue;
+    st.taken[static_cast<std::size_t>(i)] = true;
+    if (!progressive_dirs(f.dst).contains(d)) ++f.deflections;
+    env_.energy->crossbar_traversal();
+    if (via_primary) {
+      ++primary_traversals_;
+    } else {
+      ++secondary_traversals_;
+    }
+    ++overflow_deflections_;
+    send_link(d, f);
+    return;
+  }
+  assert(false && "deflection escape must always find a port");
+}
+
+bool DXbarRouter::any_waiting() const {
+  for (const auto& b : buffers_) {
+    if (!b.empty()) return true;
+  }
+  return source != nullptr && !source->empty();
+}
+
+bool DXbarRouter::serve_waiting(AllocState& st, bool via_primary) {
+  SmallVec<Candidate, kNumPorts> waiting;
+  for (int d = 0; d < kNumLinkDirs; ++d) {
+    if (!buffers_[static_cast<std::size_t>(d)].empty()) {
+      waiting.push_back({Candidate::Kind::BufferHead, d,
+                         buffers_[static_cast<std::size_t>(d)].front()});
+    }
+  }
+  if (source != nullptr && !source->empty()) {
+    waiting.push_back({Candidate::Kind::Injection, -1, source->front()});
+  }
+  if (waiting.empty()) return false;
+  sort_by_age(waiting);
+
+  bool won = false;
+  for (const Candidate& c : waiting) {
+    // A head denied for stall_escape_delay cycles overrides stop signals
+    // (the stopped receiver's must-win logic keeps the flit moving).
+    int& wait = c.kind == Candidate::Kind::BufferHead
+                    ? head_wait_[static_cast<std::size_t>(c.dir)]
+                    : injection_wait_;
+    const auto out = pick_output(c.flit, st, wait >= env_.cfg->stall_escape_delay);
+    if (!out) {
+      ++wait;
+      continue;
+    }
+    wait = 0;
+    Flit f;
+    if (c.kind == Candidate::Kind::BufferHead) {
+      f = buffers_[static_cast<std::size_t>(c.dir)].pop();
+      env_.energy->buffer_read();
+    } else {
+      // pop_front stamps the injection cycle; use the stamped flit.
+      f = source->pop_front();
+    }
+    env_.energy->crossbar_traversal();
+    if (via_primary) {
+      ++primary_traversals_;
+    } else {
+      ++secondary_traversals_;
+    }
+    if (*out == Direction::Local) {
+      eject(f);
+    } else {
+      send_link(*out, f);
+    }
+    won = true;
+  }
+  return won;
+}
+
+void DXbarRouter::step_normal(Cycle now, bool secondary_usable) {
+  (void)now;
+  AllocState st;
+
+  // Incoming flits split by whether their FIFO could still absorb them:
+  // a flit with a full FIFO must win *some* port this cycle (deflection
+  // as the last resort), so it is placed before every other phase.
+  SmallVec<Candidate, kNumPorts> must_win;
+  SmallVec<Candidate, kNumPorts> incoming;
+  for (int d = 0; d < kNumLinkDirs; ++d) {
+    auto& arrival = in[static_cast<std::size_t>(d)];
+    if (!arrival.has_value()) continue;
+    Candidate c{Candidate::Kind::Incoming, d, *arrival};
+    arrival.reset();
+    if (buffers_[static_cast<std::size_t>(d)].full()) {
+      must_win.push_back(c);
+    } else {
+      incoming.push_back(c);
+    }
+  }
+  sort_by_age(must_win);
+  sort_by_age(incoming);
+
+  const bool waiting_exists = any_waiting();
+  const bool flipped = fairness_.flipped();
+  bool waiting_won = false;
+  bool incoming_won = false;
+
+  for (const Candidate& c : must_win) {
+    if (const auto out = pick_output(c.flit, st, /*ignore_stop=*/true)) {
+      env_.energy->crossbar_traversal();
+      ++primary_traversals_;
+      incoming_won = true;
+      if (*out == Direction::Local) {
+        eject(c.flit);
+      } else {
+        send_link(*out, c.flit);
+      }
+    } else {
+      deflect(c.flit, st, /*via_primary=*/true);
+    }
+  }
+
+  // Fairness flip: buffered/injection flits are allocated output ports
+  // ahead of the (bufferable) incoming flits this cycle.
+  if (flipped && secondary_usable) {
+    waiting_won = serve_waiting(st, /*via_primary=*/false);
+  }
+
+  for (const Candidate& c : incoming) {
+    const auto out = pick_output(c.flit, st);
+    if (out) {
+      env_.energy->crossbar_traversal();
+      ++primary_traversals_;
+      if (*out == Direction::Local) {
+        eject(c.flit);
+      } else {
+        send_link(*out, c.flit);
+      }
+      incoming_won = true;
+    } else {
+      divert_to_buffer(port_from_index(c.dir), c.flit);
+    }
+  }
+
+  if (!flipped && secondary_usable) {
+    waiting_won = serve_waiting(st, /*via_primary=*/false);
+  }
+
+  fairness_.record(waiting_exists, waiting_won, incoming_won);
+}
+
+void DXbarRouter::step_buffered_only(Cycle now) {
+  (void)now;
+  AllocState st;
+
+  // 1. Incoming flits that cannot be absorbed must win a port now; with
+  //    the primary crossbar dead they traverse the secondary (register
+  //    bypass around the full FIFO) or deflect through it.
+  SmallVec<Candidate, kNumPorts> must_win;
+  for (int d = 0; d < kNumLinkDirs; ++d) {
+    auto& arrival = in[static_cast<std::size_t>(d)];
+    if (!arrival.has_value()) continue;
+    if (buffers_[static_cast<std::size_t>(d)].full()) {
+      must_win.push_back({Candidate::Kind::Incoming, d, *arrival});
+      arrival.reset();
+    }
+  }
+  sort_by_age(must_win);
+  for (const Candidate& c : must_win) {
+    if (const auto out = pick_output(c.flit, st, /*ignore_stop=*/true)) {
+      env_.energy->crossbar_traversal();
+      ++secondary_traversals_;
+      if (*out == Direction::Local) {
+        eject(c.flit);
+      } else {
+        send_link(*out, c.flit);
+      }
+    } else {
+      deflect(c.flit, st, /*via_primary=*/false);
+    }
+  }
+
+  // 2. FIFO heads and injection drain through the secondary crossbar.
+  serve_waiting(st, /*via_primary=*/false);
+
+  // 3. Remaining arrivals are demuxed into their FIFOs.
+  for (int d = 0; d < kNumLinkDirs; ++d) {
+    auto& arrival = in[static_cast<std::size_t>(d)];
+    if (arrival.has_value()) {
+      divert_to_buffer(port_from_index(d), *arrival);
+      arrival.reset();
+    }
+  }
+}
+
+void DXbarRouter::step_primary_only(Cycle now) {
+  (void)now;
+  AllocState st;
+
+  // The 2x2 steering crossbars admit one flit per input line into the
+  // primary crossbar: normally the incoming flit; the FIFO head when the
+  // fairness counter has flipped priority (never when the FIFO is full —
+  // the arrival must then be the candidate so it can win or deflect).
+  const bool waiting_exists = any_waiting();
+  const bool prefer_buffer = fairness_.flipped();
+
+  SmallVec<Candidate, kNumPorts> line;
+  std::array<bool, kNumLinkDirs> line_used{};
+  for (int d = 0; d < kNumLinkDirs; ++d) {
+    auto& arrival = in[static_cast<std::size_t>(d)];
+    const auto& buf = buffers_[static_cast<std::size_t>(d)];
+    const bool have_buf = !buf.empty();
+    if (arrival.has_value() && (!prefer_buffer || !have_buf || buf.full())) {
+      line.push_back({Candidate::Kind::Incoming, d, *arrival});
+      arrival.reset();
+      line_used[static_cast<std::size_t>(d)] = true;
+    } else if (have_buf) {
+      line.push_back({Candidate::Kind::BufferHead, d, buf.front()});
+      line_used[static_cast<std::size_t>(d)] = true;
+      // A displaced arrival joins the FIFO behind the head (the FIFO is
+      // known non-full here).
+      if (arrival.has_value()) {
+        divert_to_buffer(port_from_index(d), *arrival);
+        arrival.reset();
+      }
+    }
+  }
+  sort_by_age(line);
+
+  bool waiting_won = false;
+  bool incoming_won = false;
+  for (const Candidate& c : line) {
+    const bool is_head = c.kind == Candidate::Kind::BufferHead;
+    const bool escalate =
+        is_head &&
+        head_wait_[static_cast<std::size_t>(c.dir)] >= env_.cfg->stall_escape_delay;
+    const auto out = pick_output(c.flit, st, escalate);
+    if (out) {
+      Flit f = c.flit;
+      if (is_head) {
+        f = buffers_[static_cast<std::size_t>(c.dir)].pop();
+        env_.energy->buffer_read();
+        head_wait_[static_cast<std::size_t>(c.dir)] = 0;
+        waiting_won = true;
+      } else {
+        incoming_won = true;
+      }
+      env_.energy->crossbar_traversal();
+      ++primary_traversals_;
+      if (*out == Direction::Local) {
+        eject(f);
+      } else {
+        send_link(*out, f);
+      }
+    } else if (c.kind == Candidate::Kind::Incoming) {
+      if (!buffers_[static_cast<std::size_t>(c.dir)].full()) {
+        divert_to_buffer(port_from_index(c.dir), c.flit);
+      } else {
+        deflect(c.flit, st, /*via_primary=*/true);
+      }
+    } else {
+      ++head_wait_[static_cast<std::size_t>(c.dir)];
+    }
+  }
+
+  // Injection borrows an idle input line of the primary crossbar.
+  bool line_free = false;
+  for (int d = 0; d < kNumLinkDirs; ++d) {
+    if (!line_used[static_cast<std::size_t>(d)]) line_free = true;
+  }
+  if (line_free && source != nullptr && !source->empty()) {
+    const auto out = pick_output(source->front(), st);
+    if (out) {
+      Flit f = source->pop_front();
+      env_.energy->crossbar_traversal();
+      ++primary_traversals_;
+      waiting_won = true;
+      if (*out == Direction::Local) {
+        eject(f);
+      } else {
+        send_link(*out, f);
+      }
+    }
+  }
+
+  fairness_.record(waiting_exists, waiting_won, incoming_won);
+}
+
+void DXbarRouter::update_backpressure() {
+  // On/off flow control: tell each upstream neighbour to pause while our
+  // FIFO for that input is full.  The one-cycle signal delay means up to
+  // two in-flight flits can still land on a full FIFO; deflect() covers
+  // that race.
+  for (int d = 0; d < kNumLinkDirs; ++d) {
+    Channel* ch = env_.in_links[static_cast<std::size_t>(d)];
+    if (ch != nullptr) {
+      ch->set_stop(buffers_[static_cast<std::size_t>(d)].full());
+    }
+  }
+}
+
+void DXbarRouter::step(Cycle now) {
+  const RouterFault& fault = env_.faults->at(id_);
+  if (!fault.faulty || !env_.faults->manifest(id_, now)) {
+    step_normal(now, /*secondary_usable=*/true);
+    update_backpressure();
+    return;
+  }
+
+  if (fault.failed == CrossbarKind::Primary) {
+    // With the primary crossbar dead, incoming flits are demuxed into
+    // the FIFOs whether or not BIST has fired yet; the secondary keeps
+    // the router alive as a plain buffered router.
+    step_buffered_only(now);
+    update_backpressure();
+    return;
+  }
+
+  // Secondary crossbar failed.  Until detection the allocator still
+  // diverts losers into the FIFOs (the write path is intact) but the
+  // FIFOs cannot drain; after detection the steering crossbars feed the
+  // primary from the FIFO heads.
+  if (env_.faults->detected(id_, now)) {
+    step_primary_only(now);
+  } else {
+    step_normal(now, /*secondary_usable=*/false);
+  }
+  update_backpressure();
+}
+
+int DXbarRouter::occupancy() const {
+  int n = 0;
+  for (const auto& b : buffers_) n += static_cast<int>(b.size());
+  return n;
+}
+
+}  // namespace dxbar

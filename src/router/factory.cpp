@@ -1,0 +1,61 @@
+#include "router/factory.hpp"
+
+#include "router/afc_router.hpp"
+#include "router/bless_router.hpp"
+#include "router/buffered_router.hpp"
+#include "router/dxbar_router.hpp"
+#include "router/scarab_router.hpp"
+#include "router/unified_router.hpp"
+#include "router/vc_router.hpp"
+#include "topology/channel.hpp"
+
+namespace dxbar {
+
+std::unique_ptr<Router> make_router(NodeId id, const RouterEnv& env) {
+  switch (env.cfg->design) {
+    case RouterDesign::FlitBless:
+      return std::make_unique<BlessRouter>(id, env);
+    case RouterDesign::Scarab:
+      return std::make_unique<ScarabRouter>(id, env);
+    case RouterDesign::Buffered4:
+      return std::make_unique<BufferedRouter>(id, env, /*lanes_per_input=*/1);
+    case RouterDesign::Buffered8:
+      return std::make_unique<BufferedRouter>(id, env, /*lanes_per_input=*/2);
+    case RouterDesign::DXbar:
+      return std::make_unique<DXbarRouter>(id, env);
+    case RouterDesign::UnifiedXbar:
+      return std::make_unique<UnifiedRouter>(id, env);
+    case RouterDesign::BufferedVC:
+      return std::make_unique<VcRouter>(id, env);
+    case RouterDesign::Afc:
+      return std::make_unique<AfcRouter>(id, env);
+  }
+  return nullptr;
+}
+
+int link_credits_for(RouterDesign design, int buffer_depth) {
+  switch (design) {
+    case RouterDesign::FlitBless:
+    case RouterDesign::Scarab:
+      return kUnlimitedCredits;
+    case RouterDesign::DXbar:
+    case RouterDesign::UnifiedXbar:
+      // The dual-crossbar designs carry no link backpressure: a losing
+      // flit that finds its FIFO full escapes through the bufferless
+      // crossbar (deflection) instead of requiring a reserved slot.
+      return kUnlimitedCredits;
+    case RouterDesign::Buffered4:
+      return buffer_depth;
+    case RouterDesign::Buffered8:
+      return 2 * buffer_depth;
+    case RouterDesign::BufferedVC:
+      // Per-VC pools; the network builds VC channels for this design.
+      return buffer_depth;
+    case RouterDesign::Afc:
+      // AFC accepts every arrival (deflection fallback in buffered mode).
+      return kUnlimitedCredits;
+  }
+  return kUnlimitedCredits;
+}
+
+}  // namespace dxbar

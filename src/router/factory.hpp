@@ -1,0 +1,18 @@
+// Router construction by design enum.
+#pragma once
+
+#include <memory>
+
+#include "router/router.hpp"
+
+namespace dxbar {
+
+/// Builds the router microarchitecture selected by env.cfg->design.
+std::unique_ptr<Router> make_router(NodeId id, const RouterEnv& env);
+
+/// Credits (== downstream buffer slots per input) the channels feeding a
+/// router of this design must carry; kUnlimitedCredits for bufferless
+/// designs, which never exert backpressure.
+int link_credits_for(RouterDesign design, int buffer_depth);
+
+}  // namespace dxbar

@@ -1,0 +1,12 @@
+#include "router/router.hpp"
+
+#include <cassert>
+
+namespace dxbar {
+
+Router::Router(NodeId id, const RouterEnv& env) : id_(id), env_(env) {
+  assert(env_.cfg != nullptr && env_.mesh != nullptr &&
+         env_.energy != nullptr && env_.faults != nullptr);
+}
+
+}  // namespace dxbar

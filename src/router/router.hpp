@@ -1,0 +1,199 @@
+// Router interface and shared plumbing.
+//
+// The network drives every router with the same per-cycle protocol:
+//   1. channel arrivals are copied into `in[]`
+//   2. step(now) runs switch allocation + traversal, pushing departures
+//      straight into the outgoing channels and ejections into `ejected`
+//   3. the network drains `ejected` and clears `in[]`
+//
+// Routers never talk to each other directly — all coupling goes through
+// the Channel objects (flits downstream, credits upstream), which is what
+// makes the two-phase cycle free of ordering artifacts.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <optional>
+
+#include "common/config.hpp"
+#include "common/flit.hpp"
+#include "common/small_vec.hpp"
+#include "common/stats.hpp"
+#include "fault/fault_model.hpp"
+#include "power/energy_model.hpp"
+#include "routing/deflect.hpp"
+#include "routing/route_table.hpp"
+#include "routing/routing_algorithm.hpp"
+#include "topology/channel.hpp"
+#include "topology/mesh.hpp"
+
+namespace dxbar {
+
+/// Source-side queue of flits awaiting injection at one node.  Unbounded:
+/// open-loop experiments measure accepted load, and closed-loop workloads
+/// throttle themselves via MSHR limits before the queue matters.
+/// First pop of a fresh flit stamps its injection cycle and notifies the
+/// statistics collector; retransmissions keep their original timestamp.
+class InjectionQueue {
+ public:
+  /// Wired once by the network before simulation starts.
+  void attach(const Cycle* clock, StatsCollector* stats) noexcept {
+    clock_ = clock;
+    stats_ = stats;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return q_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return q_.size(); }
+  [[nodiscard]] const Flit& front() const { return q_.front(); }
+
+  Flit pop_front() {
+    Flit f = q_.front();
+    q_.pop_front();
+    if (f.injected_at == kNotInjected && clock_ != nullptr) {
+      f.injected_at = *clock_;
+      if (stats_ != nullptr) stats_->on_flit_injected(f, *clock_);
+    }
+    return f;
+  }
+
+  void push_back(Flit f) { q_.push_back(f); }
+  /// Retransmissions re-enter at the front so age order is preserved.
+  void push_front(Flit f) { q_.push_front(f); }
+
+ private:
+  std::deque<Flit> q_;
+  const Cycle* clock_ = nullptr;
+  StatsCollector* stats_ = nullptr;
+};
+
+/// Receives SCARAB drop notifications; implemented by the network, which
+/// routes the NACK over the dedicated circuit-switched network.
+class NackSink {
+ public:
+  virtual ~NackSink() = default;
+  virtual void on_drop(const Flit& flit, NodeId at, Cycle now) = 0;
+};
+
+/// Everything a router needs from its surroundings, wired once at build.
+struct RouterEnv {
+  const SimConfig* cfg = nullptr;
+  const Mesh* mesh = nullptr;
+  EnergyMeter* energy = nullptr;
+  const FaultPlan* faults = nullptr;
+  /// Fault-aware routing table; non-null when link faults degrade the
+  /// topology (see routing/route_table.hpp).
+  const RouteTable* route_table = nullptr;
+  /// nullptr at mesh edges AND for dead links (link faults).
+  std::array<Channel*, kNumLinkDirs> out_links{};
+  std::array<Channel*, kNumLinkDirs> in_links{};
+};
+
+class Router {
+ public:
+  Router(NodeId id, const RouterEnv& env);
+  virtual ~Router() = default;
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Arrivals for the current cycle, filled by the network before step().
+  std::array<std::optional<Flit>, kNumLinkDirs> in{};
+
+  /// Flits delivered to the local PE this cycle (at most one — the Local
+  /// output port has unit bandwidth; sized generously for safety checks).
+  SmallVec<Flit, 4> ejected;
+
+  /// Injection source for this node, wired by the network.
+  InjectionQueue* source = nullptr;
+
+  /// Drop notification sink (SCARAB only), wired by the network.
+  NackSink* nack_sink = nullptr;
+
+  /// Run one cycle of switch allocation and traversal.
+  virtual void step(Cycle now) = 0;
+
+  /// Flits resident inside the router (input buffers); the network uses
+  /// this for drain detection.
+  [[nodiscard]] virtual int occupancy() const = 0;
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+
+ protected:
+  /// True when an output link exists in `d` and has a credit + free slot.
+  [[nodiscard]] bool can_send(Direction d) const {
+    Channel* ch = env_.out_links[port_index(d)];
+    return ch != nullptr && ch->can_send();
+  }
+
+  /// Like can_send but ignores on/off stop signals — liveness paths
+  /// (deflection escape, stall-escape override) may push into a full
+  /// receiver, whose must-win logic absorbs the flit.
+  [[nodiscard]] bool can_send_ignoring_stop(Direction d) const {
+    Channel* ch = env_.out_links[port_index(d)];
+    return ch != nullptr && ch->can_send_ignoring_stop();
+  }
+
+  /// Push a flit onto the outgoing link: bumps the hop count and charges
+  /// link energy.  The crossbar-traversal energy is charged by the caller
+  /// because which crossbar was used differs per design.
+  void send_link(Direction d, Flit f) {
+    ++f.hops;
+    env_.energy->link_traversal();
+    env_.out_links[port_index(d)]->send(f);
+  }
+
+  void eject(Flit f) { ejected.push_back(f); }
+
+  /// Return a buffer credit to the upstream router on the link the flit
+  /// arrived over.
+  void return_credit(Direction arrived_over) {
+    Channel* ch = env_.in_links[port_index(arrived_over)];
+    if (ch != nullptr) ch->return_credit();
+  }
+
+  /// Productive output ports for `dst`: the configured algorithm on a
+  /// healthy topology, or the fault-aware table when links are dead.
+  [[nodiscard]] RouteSet routes(NodeId dst) const {
+    if (env_.route_table != nullptr) return env_.route_table->routes(id_, dst);
+    return compute_routes(env_.cfg->routing, *env_.mesh, id_, dst);
+  }
+
+  /// Every port that makes forward progress toward `dst` (minimal
+  /// adaptive set), live-topology aware.  Used by the bufferless
+  /// routers, which adapt over all productive ports regardless of the
+  /// configured deterministic algorithm.
+  [[nodiscard]] RouteSet progressive_dirs(NodeId dst) const {
+    if (env_.route_table != nullptr) return env_.route_table->routes(id_, dst);
+    return minimal_routes(*env_.mesh, id_, dst);
+  }
+
+  /// The output link exists and is operational.
+  [[nodiscard]] bool link_alive(Direction d) const {
+    return env_.out_links[port_index(d)] != nullptr;
+  }
+
+  /// Deflection preference over the link directions: ports that make
+  /// forward progress first (live-topology aware — on a degraded mesh
+  /// geometric preference can livelock around obstacles), then the
+  /// geometric ranking for the rest.
+  [[nodiscard]] std::array<Direction, kNumLinkDirs> deflection_order(
+      const Flit& f, std::uint64_t salt) const {
+    const auto geometric = deflection_ranking(*env_.mesh, id_, f.dst, salt);
+    if (env_.route_table == nullptr) return geometric;
+    const RouteSet prog = progressive_dirs(f.dst);
+    std::array<Direction, kNumLinkDirs> out{};
+    int k = 0;
+    for (Direction d : geometric) {
+      if (prog.contains(d)) out[static_cast<std::size_t>(k++)] = d;
+    }
+    for (Direction d : geometric) {
+      if (!prog.contains(d)) out[static_cast<std::size_t>(k++)] = d;
+    }
+    return out;
+  }
+
+  NodeId id_;
+  RouterEnv env_;
+};
+
+}  // namespace dxbar

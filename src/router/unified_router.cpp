@@ -1,0 +1,199 @@
+#include "router/unified_router.hpp"
+
+#include <cassert>
+
+#include "routing/deflect.hpp"
+
+namespace dxbar {
+
+UnifiedRouter::UnifiedRouter(NodeId id, const RouterEnv& env)
+    : Router(id, env),
+      buffers_{FixedQueue<Flit>(static_cast<std::size_t>(env.cfg->buffer_depth)),
+               FixedQueue<Flit>(static_cast<std::size_t>(env.cfg->buffer_depth)),
+               FixedQueue<Flit>(static_cast<std::size_t>(env.cfg->buffer_depth)),
+               FixedQueue<Flit>(static_cast<std::size_t>(env.cfg->buffer_depth))},
+      fairness_(env.cfg->fairness_threshold) {}
+
+std::uint32_t UnifiedRouter::request_mask(const Flit& f,
+                                          bool ignore_stop) const {
+  std::uint32_t mask = 0;
+  for (Direction d : routes(f.dst)) {
+    if (d == Direction::Local ||
+        (ignore_stop ? can_send_ignoring_stop(d) : can_send(d))) {
+      mask |= 1u << port_index(d);
+    }
+  }
+  return mask;
+}
+
+void UnifiedRouter::depart(Flit f, int out) {
+  env_.energy->crossbar_traversal();
+  if (port_from_index(out) == Direction::Local) {
+    eject(f);
+  } else {
+    send_link(port_from_index(out), f);
+  }
+}
+
+void UnifiedRouter::step(Cycle now) {
+  (void)now;
+
+  // ---- build the dual-candidate request of every input port ----------
+  std::array<UnifiedPortRequest, kNumPorts> req{};
+  for (int d = 0; d < kNumLinkDirs; ++d) {
+    const auto& arrival = in[static_cast<std::size_t>(d)];
+    if (arrival.has_value()) {
+      // An arrival whose FIFO is full cannot be absorbed: elevate its
+      // priority so the allocator strongly prefers granting it a port
+      // (the post-pass below guarantees one in any case).
+      const bool must_win = buffers_[static_cast<std::size_t>(d)].full();
+      req[static_cast<std::size_t>(d)].incoming = {
+          true, request_mask(*arrival, must_win), arrival->born_at, must_win};
+    }
+    const auto& buf = buffers_[static_cast<std::size_t>(d)];
+    if (!buf.empty()) {
+      // A head denied for stall_escape_delay cycles may request stopped
+      // (full) receivers too; their must-win logic keeps it moving.
+      const bool escalate =
+          head_wait_[static_cast<std::size_t>(d)] >= env_.cfg->stall_escape_delay;
+      req[static_cast<std::size_t>(d)].buffered = {
+          true, request_mask(buf.front(), escalate), buf.front().born_at,
+          false};
+    }
+  }
+  // Port 4 carries only the (unbuffered) PE injection flit.
+  const bool have_injection = source != nullptr && !source->empty();
+  if (have_injection) {
+    req[kNumPorts - 1].buffered = {
+        true,
+        request_mask(source->front(), injection_wait_ >= env_.cfg->stall_escape_delay),
+        source->front().born_at, false};
+  }
+
+  bool waiting_exists = have_injection;
+  for (const auto& b : buffers_) waiting_exists = waiting_exists || !b.empty();
+
+  // ---- allocate --------------------------------------------------------
+  const bool flipped = fairness_.flipped();
+  UnifiedGrants grants = allocator_.allocate(req, !flipped);
+  swap_count_ += static_cast<std::uint64_t>(grants.swaps);
+
+  // ---- overflow escape valve -------------------------------------------
+  // An ungranted arrival with a full FIFO must leave through the crossbar
+  // this cycle: give it a free output, or steal one granted to a buffered
+  // flit (which simply stays in its FIFO).  At most 3 other arrivals can
+  // hold grants, so a port is always recoverable.
+  std::array<bool, kNumPorts> out_used{};
+  for (int p = 0; p < kNumPorts; ++p) {
+    const UnifiedPortGrant& g = grants.port[static_cast<std::size_t>(p)];
+    if (g.incoming_out >= 0) out_used[static_cast<std::size_t>(g.incoming_out)] = true;
+    if (g.buffered_out >= 0) out_used[static_cast<std::size_t>(g.buffered_out)] = true;
+  }
+  for (int d = 0; d < kNumLinkDirs; ++d) {
+    auto& arrival = in[static_cast<std::size_t>(d)];
+    UnifiedPortGrant& g = grants.port[static_cast<std::size_t>(d)];
+    if (!arrival.has_value() || g.incoming_out >= 0 ||
+        !buffers_[static_cast<std::size_t>(d)].full()) {
+      continue;
+    }
+    const auto ranking = deflection_order(
+        *arrival, arrival->packet * 0x9E3779B97F4A7C15ULL);
+    int escape = -1;
+    for (Direction dir : ranking) {
+      const int o = port_index(dir);
+      if (!env_.mesh->has_link(id_, dir)) continue;
+      if (!out_used[static_cast<std::size_t>(o)] &&
+          can_send_ignoring_stop(dir)) {
+        escape = o;
+        break;
+      }
+    }
+    if (escape < 0) {
+      // Steal a link output granted to a buffered flit.
+      for (int p = 0; p < kNumPorts && escape < 0; ++p) {
+        UnifiedPortGrant& victim = grants.port[static_cast<std::size_t>(p)];
+        if (victim.buffered_out >= 0 &&
+            victim.buffered_out != port_index(Direction::Local) &&
+            env_.mesh->has_link(id_, port_from_index(victim.buffered_out))) {
+          escape = victim.buffered_out;
+          victim.buffered_out = -1;
+        }
+      }
+    }
+    assert(escape >= 0 && "overflow escape must recover an output port");
+    if (!is_productive(*env_.mesh, id_, arrival->dst,
+                       port_from_index(escape))) {
+      ++arrival->deflections;
+    }
+    g.incoming_out = escape;
+    out_used[static_cast<std::size_t>(escape)] = true;
+    ++overflow_deflections_;
+  }
+
+  // ---- apply grants ------------------------------------------------------
+  bool waiting_won = false;
+  bool incoming_won = false;
+  for (int p = 0; p < kNumPorts; ++p) {
+    const UnifiedPortGrant& g = grants.port[static_cast<std::size_t>(p)];
+    if (g.incoming_out >= 0 && g.buffered_out >= 0) ++dual_grant_cycles_;
+
+    const bool head_present =
+        p == kNumPorts - 1
+            ? have_injection
+            : !buffers_[static_cast<std::size_t>(p)].empty();
+    int& wait = p == kNumPorts - 1
+                    ? injection_wait_
+                    : head_wait_[static_cast<std::size_t>(p)];
+    if (g.buffered_out >= 0) {
+      Flit f;
+      if (p == kNumPorts - 1) {
+        f = source->pop_front();
+      } else {
+        f = buffers_[static_cast<std::size_t>(p)].pop();
+        env_.energy->buffer_read();
+        return_credit(port_from_index(p));
+      }
+      wait = 0;
+      depart(f, g.buffered_out);
+      waiting_won = true;
+    } else if (head_present) {
+      ++wait;
+    }
+
+    if (p < kNumLinkDirs) {
+      auto& arrival = in[static_cast<std::size_t>(p)];
+      if (arrival.has_value()) {
+        if (g.incoming_out >= 0) {
+          return_credit(port_from_index(p));
+          depart(*arrival, g.incoming_out);
+          incoming_won = true;
+        } else {
+          const bool ok = buffers_[static_cast<std::size_t>(p)].push(*arrival);
+          assert(ok && "escape valve must cover full-FIFO arrivals");
+          (void)ok;
+          env_.energy->buffer_write();
+        }
+        arrival.reset();
+      }
+    }
+  }
+
+  fairness_.record(waiting_exists, waiting_won, incoming_won);
+
+  // On/off flow control toward upstream; the escape valve above covers
+  // the flits already in flight when a FIFO fills.
+  for (int d = 0; d < kNumLinkDirs; ++d) {
+    Channel* ch = env_.in_links[static_cast<std::size_t>(d)];
+    if (ch != nullptr) {
+      ch->set_stop(buffers_[static_cast<std::size_t>(d)].full());
+    }
+  }
+}
+
+int UnifiedRouter::occupancy() const {
+  int n = 0;
+  for (const auto& b : buffers_) n += static_cast<int>(b.size());
+  return n;
+}
+
+}  // namespace dxbar

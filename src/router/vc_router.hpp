@@ -1,0 +1,60 @@
+// Extension baseline: virtual-channel router with speculative switch
+// allocation — the "generic VC-based router" family the paper's Fig 2
+// pipelines describe (BW/RC, VA+speculative SA, ST, LT; look-ahead
+// removes the dedicated RC cycle, leaving a 3-cycle per-hop pipeline
+// like Buffered 4/8).
+//
+// Each input port has `num_vcs` FIFOs.  Per cycle each input nominates
+// one eligible VC head (round-robin across VCs), the separable switch
+// allocator matches inputs to outputs, and the winner then tries to
+// claim a downstream VC credit — *after* winning, which is what makes
+// the allocation speculative: a winner without a downstream credit
+// wastes the output's cycle, the baseline inefficiency the paper's
+// single-cycle DXbar pipeline avoids.
+#pragma once
+
+#include <vector>
+
+#include "alloc/arbiter.hpp"
+#include "alloc/separable_allocator.hpp"
+#include "common/fixed_queue.hpp"
+#include "router/router.hpp"
+
+namespace dxbar {
+
+class VcRouter final : public Router {
+ public:
+  VcRouter(NodeId id, const RouterEnv& env);
+
+  void step(Cycle now) override;
+  [[nodiscard]] int occupancy() const override;
+
+  // --- introspection for tests ---------------------------------------
+  [[nodiscard]] std::uint64_t speculation_failures() const {
+    return speculation_failures_;
+  }
+  [[nodiscard]] int vc_size(Direction d, int vc) const {
+    return static_cast<int>(
+        vcs_[static_cast<std::size_t>(port_index(d) * num_vcs_ + vc)].size());
+  }
+
+ private:
+  struct Entry {
+    Flit flit;
+    Cycle ready = 0;
+  };
+
+  [[nodiscard]] int vc_index(int dir, int vc) const noexcept {
+    return dir * num_vcs_ + vc;
+  }
+
+  int num_vcs_;
+  int vc_depth_;
+  std::vector<FixedQueue<Entry>> vcs_;  ///< kNumLinkDirs * num_vcs_
+  std::vector<RoundRobinArbiter> vc_pick_;  ///< per input dir
+  std::vector<RoundRobinArbiter> out_vc_pick_;  ///< per output dir
+  SeparableAllocator allocator_;
+  std::uint64_t speculation_failures_ = 0;
+};
+
+}  // namespace dxbar

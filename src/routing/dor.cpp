@@ -1,0 +1,17 @@
+#include "routing/dor.hpp"
+
+namespace dxbar {
+
+Direction dor_route(const Mesh& mesh, NodeId cur, NodeId dst) {
+  // Signed shortest offsets (wrap-aware on a torus; plain deltas on a
+  // mesh): resolve x completely, then y.
+  const int ox = mesh.offset_x(cur, dst);
+  if (ox > 0) return Direction::East;
+  if (ox < 0) return Direction::West;
+  const int oy = mesh.offset_y(cur, dst);
+  if (oy > 0) return Direction::North;
+  if (oy < 0) return Direction::South;
+  return Direction::Local;
+}
+
+}  // namespace dxbar

@@ -1,0 +1,15 @@
+// Dimension-ordered (XY) routing: resolve the x offset completely before
+// turning into the y dimension.  Deadlock-free on meshes with any number
+// of buffers because the channel dependence graph is acyclic.
+#pragma once
+
+#include "common/types.hpp"
+#include "topology/mesh.hpp"
+
+namespace dxbar {
+
+/// The single productive output port under XY routing; Direction::Local
+/// when `cur == dst`.
+Direction dor_route(const Mesh& mesh, NodeId cur, NodeId dst);
+
+}  // namespace dxbar

@@ -1,0 +1,14 @@
+// Shared routing vocabulary: the set of output ports a routing function
+// permits for a flit at a given router.
+#pragma once
+
+#include "common/small_vec.hpp"
+#include "common/types.hpp"
+
+namespace dxbar {
+
+/// Preference-ordered productive output ports (at most 2 on a 2D mesh
+/// under minimal routing, plus Local when the flit has arrived).
+using RouteSet = SmallVec<Direction, 3>;
+
+}  // namespace dxbar

@@ -1,0 +1,48 @@
+// Fault-aware routing: per-destination next-hop table from BFS over the
+// live links only.
+//
+// When the topology is degraded (dead links), the geometric turn models
+// no longer apply — a minimal live path may not exist in the allowed
+// turn set.  The table offers every next hop that lies on *some*
+// shortest live path, preference-ordered deterministically.  The turn
+// guarantees are gone, so deadlock freedom rests on the routers' escape
+// valves (deflection, stall escape); the conservation test matrix
+// exercises this empirically.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "routing/route.hpp"
+#include "topology/mesh.hpp"
+
+namespace dxbar {
+
+class RouteTable {
+ public:
+  /// Builds the table over links for which `alive(node, dir)` is true;
+  /// the live graph must be connected.
+  RouteTable(const Mesh& mesh,
+             const std::function<bool(NodeId, Direction)>& alive);
+
+  /// Next hops on shortest live paths from `cur` to `dst`; contains only
+  /// Direction::Local when cur == dst.
+  [[nodiscard]] RouteSet routes(NodeId cur, NodeId dst) const;
+
+  /// Live-path distance (hops) from `cur` to `dst`.
+  [[nodiscard]] int distance(NodeId cur, NodeId dst) const {
+    return dist_[index(cur, dst)];
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(NodeId cur, NodeId dst) const noexcept {
+    return static_cast<std::size_t>(cur) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  int n_;
+  std::vector<std::uint8_t> next_mask_;  ///< bitmask of link dirs per (cur,dst)
+  std::vector<int> dist_;
+};
+
+}  // namespace dxbar

@@ -1,0 +1,47 @@
+#include "routing/routing_algorithm.hpp"
+
+#include "routing/dor.hpp"
+#include "routing/turn_models.hpp"
+#include "routing/west_first.hpp"
+
+namespace dxbar {
+
+RouteSet minimal_routes(const Mesh& mesh, NodeId cur, NodeId dst) {
+  RouteSet out;
+  if (cur == dst) {
+    out.push_back(Direction::Local);
+    return out;
+  }
+  const int ox = mesh.offset_x(cur, dst);
+  const int oy = mesh.offset_y(cur, dst);
+  if (ox > 0) out.push_back(Direction::East);
+  if (ox < 0) out.push_back(Direction::West);
+  if (oy > 0) out.push_back(Direction::North);
+  if (oy < 0 && out.size() < 3) out.push_back(Direction::South);
+  return out;
+}
+
+RouteSet compute_routes(RoutingAlgo algo, const Mesh& mesh, NodeId cur,
+                        NodeId dst) {
+  RouteSet out;
+  // The geometric turn models assume a mesh; on a torus every algorithm
+  // degenerates to minimal adaptive routing (DOR keeps its x-then-y
+  // determinism via the wrap-aware offsets).
+  if (mesh.wraps() && algo != RoutingAlgo::DOR) {
+    return minimal_routes(mesh, cur, dst);
+  }
+  switch (algo) {
+    case RoutingAlgo::DOR:
+      out.push_back(dor_route(mesh, cur, dst));
+      return out;
+    case RoutingAlgo::WestFirst:
+      return wf_routes(mesh, cur, dst);
+    case RoutingAlgo::NegativeFirst:
+      return nf_routes(mesh, cur, dst);
+    case RoutingAlgo::NorthLast:
+      return nl_routes(mesh, cur, dst);
+  }
+  return out;
+}
+
+}  // namespace dxbar

@@ -1,0 +1,21 @@
+// Uniform entry point over the routing algorithms the paper evaluates.
+#pragma once
+
+#include "common/config.hpp"
+#include "routing/route.hpp"
+#include "topology/mesh.hpp"
+
+namespace dxbar {
+
+/// Productive, legality-checked output ports for a flit at `cur` heading
+/// to `dst` under `algo`, preference-ordered.  DOR yields exactly one
+/// port; West-First yields one or two.  Contains only Direction::Local
+/// when cur == dst.
+RouteSet compute_routes(RoutingAlgo algo, const Mesh& mesh, NodeId cur,
+                        NodeId dst);
+
+/// Minimal adaptive set: every port that reduces the (wrap-aware)
+/// distance to dst; Local only when cur == dst.
+RouteSet minimal_routes(const Mesh& mesh, NodeId cur, NodeId dst);
+
+}  // namespace dxbar

@@ -1,0 +1,6 @@
+// NackNetwork is header-only; see nack_network.hpp.
+#include "sim/nack_network.hpp"
+
+namespace dxbar {
+// Intentionally empty.
+}  // namespace dxbar

@@ -1,0 +1,260 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dxbar {
+
+Network::Network(const SimConfig& cfg)
+    : Network(cfg, FaultPlan(cfg.num_nodes(), cfg.fault_fraction, cfg.seed,
+                             cfg.fault_onset_spread,
+                             cfg.fault_detect_delay)) {}
+
+Network::Network(const SimConfig& cfg, FaultPlan plan)
+    : cfg_(cfg),
+      mesh_(cfg.mesh_width, cfg.mesh_height, cfg.torus),
+      energy_(cfg.design),
+      faults_(std::move(plan)),
+      link_faults_(mesh_, cfg.link_fault_fraction, cfg.seed),
+      stats_(cfg.warmup_cycles, cfg.warmup_cycles + cfg.measure_cycles,
+             cfg.num_nodes()) {
+  assert(cfg_.validate().empty() && "invalid SimConfig");
+  if (link_faults_.any()) {
+    route_table_ = std::make_unique<RouteTable>(
+        mesh_, [this](NodeId n, Direction d) {
+          return link_faults_.alive(n, d);
+        });
+  }
+  build();
+}
+
+Network::~Network() = default;
+
+void Network::build() {
+  const int n = mesh_.num_nodes();
+  const int credits = link_credits_for(cfg_.design, cfg_.buffer_depth);
+
+  // Channels: one per existing directed link.  links_[link_index(a, d)]
+  // carries flits from router a's output d to the neighbour's opposite
+  // input port.
+  links_.resize(static_cast<std::size_t>(n) * kNumLinkDirs);
+  for (NodeId a = 0; a < static_cast<NodeId>(n); ++a) {
+    for (Direction d : kLinkDirs) {
+      const auto nb = mesh_.neighbor(a, d);
+      if (!nb) continue;
+      if (!link_faults_.alive(a, d)) continue;  // dead link: no channel
+      Link& link = links_[static_cast<std::size_t>(link_index(a, port_index(d)))];
+      if (cfg_.design == RouterDesign::BufferedVC) {
+        link.channel = std::make_unique<Channel>(
+            cfg_.num_vcs, cfg_.buffer_depth / cfg_.num_vcs);
+      } else {
+        link.channel = std::make_unique<Channel>(credits);
+      }
+      link.dst_node = *nb;
+      link.dst_port = port_index(opposite(d));
+    }
+  }
+
+  sources_.resize(static_cast<std::size_t>(n));
+  for (auto& s : sources_) s.attach(&now_, &stats_);
+
+  routers_.reserve(static_cast<std::size_t>(n));
+  for (NodeId id = 0; id < static_cast<NodeId>(n); ++id) {
+    RouterEnv env;
+    env.cfg = &cfg_;
+    env.mesh = &mesh_;
+    env.energy = &energy_;
+    env.faults = &faults_;
+    env.route_table = route_table_.get();
+    for (Direction d : kLinkDirs) {
+      const int di = port_index(d);
+      // Outgoing: our own link in direction d.
+      Link& out = links_[static_cast<std::size_t>(link_index(id, di))];
+      env.out_links[static_cast<std::size_t>(di)] = out.channel.get();
+      // Incoming over input port d: the neighbour-in-direction-d's link
+      // pointing back at us.
+      const auto nb = mesh_.neighbor(id, d);
+      if (nb) {
+        Link& in = links_[static_cast<std::size_t>(
+            link_index(*nb, port_index(opposite(d))))];
+        env.in_links[static_cast<std::size_t>(di)] = in.channel.get();
+      }
+    }
+    auto router = make_router(id, env);
+    router->source = &sources_[id];
+    router->nack_sink = this;
+    routers_.push_back(std::move(router));
+  }
+
+  if (cfg_.design == RouterDesign::Scarab) {
+    scarab_staging_.resize(static_cast<std::size_t>(n));
+    scarab_outstanding_.assign(static_cast<std::size_t>(n), 0);
+    scarab_capacity_flits_ = cfg_.retransmit_buffer * cfg_.packet_length;
+    nacks_.set_num_nodes(n);
+  }
+}
+
+PacketId Network::inject_packet(NodeId src, NodeId dst, int length,
+                                Cycle now) {
+  assert(src != dst && "self-addressed packets are not routed");
+  const PacketId id = next_packet_++;
+  for (int s = 0; s < length; ++s) {
+    Flit f;
+    f.packet = id;
+    f.seq = static_cast<std::uint16_t>(s);
+    f.packet_len = static_cast<std::uint16_t>(length);
+    f.src = src;
+    f.dst = dst;
+    f.born_at = now;
+    f.injected_at = kNotInjected;
+    if (cfg_.design == RouterDesign::Scarab) {
+      scarab_staging_[src].push_back(f);
+    } else {
+      sources_[src].push_back(f);
+    }
+  }
+  ++packets_created_;
+  flits_created_ += static_cast<std::uint64_t>(length);
+  if (tracer_ != nullptr) {
+    tracer_->on_packet_created(id, src, dst, length, now);
+  }
+  return id;
+}
+
+void Network::on_drop(const Flit& flit, NodeId at, Cycle now) {
+  ++flits_dropped_;
+  if (tracer_ != nullptr) tracer_->on_flit_dropped(flit, at, now);
+  nacks_.schedule(flit, at, now, mesh_, energy_);
+}
+
+void Network::scarab_release_staging() {
+  for (NodeId n = 0; n < static_cast<NodeId>(scarab_staging_.size()); ++n) {
+    auto& staging = scarab_staging_[n];
+    while (!staging.empty() &&
+           scarab_outstanding_[n] < scarab_capacity_flits_) {
+      sources_[n].push_back(staging.front());
+      staging.pop_front();
+      ++scarab_outstanding_[n];
+    }
+  }
+}
+
+void Network::scarab_deliver_nacks() {
+  for (Flit f : nacks_.deliveries(now_)) {
+    ++f.retransmits;
+    // Retransmissions keep their original age so they eventually win
+    // (SCARAB's forward-progress argument).
+    sources_[f.src].push_front(f);
+  }
+}
+
+void Network::handle_ejections() {
+  for (auto& router : routers_) {
+    for (const Flit& f : router->ejected) {
+      assert(f.dst == router->id() && "flit ejected at wrong node");
+      ++flits_delivered_;
+      stats_.on_flit_ejected(f, now_);
+      if (tracer_ != nullptr) tracer_->on_flit_ejected(f, now_);
+      if (cfg_.design == RouterDesign::Scarab) {
+        --scarab_outstanding_[f.src];
+      }
+
+      Assembly& a = assembly_[f.packet];
+      if (a.received == 0) {
+        a.rec.id = f.packet;
+        a.rec.src = f.src;
+        a.rec.dst = f.dst;
+        a.rec.length = f.packet_len;
+        a.rec.created = f.born_at;
+        a.rec.injected = f.injected_at;
+      }
+      ++a.received;
+      a.rec.injected = std::min(a.rec.injected, f.injected_at);
+      a.rec.total_hops += f.hops;
+      a.rec.total_deflections += f.deflections;
+      a.rec.total_retransmits += f.retransmits;
+      if (a.received == f.packet_len) {
+        a.rec.completed = now_;
+        PacketRecord rec = a.rec;
+        assembly_.erase(f.packet);
+        ++packets_delivered_;
+        stats_.on_packet_completed(rec);
+        if (tracer_ != nullptr) tracer_->on_packet_completed(rec, now_);
+        if (workload_ != nullptr) {
+          workload_->on_packet_delivered(rec, now_, *this);
+        }
+      }
+    }
+    router->ejected.clear();
+  }
+}
+
+void Network::step() {
+  // 1. Links move: flits advance one stage, pending credits post.
+  for (Link& l : links_) {
+    if (l.channel) l.channel->advance();
+  }
+
+  // 2. Deliver arrivals into the routers' input registers.
+  for (Link& l : links_) {
+    if (!l.channel) continue;
+    if (auto f = l.channel->take_arrival()) {
+      auto& slot = routers_[l.dst_node]->in[static_cast<std::size_t>(l.dst_port)];
+      assert(!slot.has_value() && "input register collision");
+      if (tracer_ != nullptr) tracer_->on_flit_hop(*f, l.dst_node, now_);
+      slot = *f;
+    }
+  }
+
+  // 3. SCARAB control: NACK deliveries re-queue drops; staging drains
+  //    into the sources while retransmit-buffer space allows.
+  if (cfg_.design == RouterDesign::Scarab) {
+    scarab_deliver_nacks();
+    scarab_release_staging();
+  }
+
+  // 4. Workload injects this cycle's new packets.
+  if (workload_ != nullptr) workload_->begin_cycle(now_, *this);
+
+  // 5. Routers switch.  All inter-router coupling is channel-mediated,
+  //    so iteration order is immaterial.
+  for (auto& r : routers_) r->step(now_);
+
+  // 6. Ejections, reassembly, completion callbacks.
+  handle_ejections();
+
+  ++now_;
+}
+
+std::vector<Network::LinkUsage> Network::link_usage() const {
+  std::vector<LinkUsage> out;
+  for (NodeId n = 0; n < static_cast<NodeId>(mesh_.num_nodes()); ++n) {
+    for (Direction d : kLinkDirs) {
+      const Link& l =
+          links_[static_cast<std::size_t>(link_index(n, port_index(d)))];
+      if (l.channel) {
+        out.push_back({LinkId{n, d}, l.channel->total_sends()});
+      }
+    }
+  }
+  return out;
+}
+
+bool Network::idle() const {
+  for (const auto& s : sources_) {
+    if (!s.empty()) return false;
+  }
+  for (const auto& r : routers_) {
+    if (r->occupancy() != 0) return false;
+  }
+  for (const Link& l : links_) {
+    if (l.channel && l.channel->occupancy() != 0) return false;
+  }
+  if (!nacks_.empty()) return false;
+  for (const auto& st : scarab_staging_) {
+    if (!st.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace dxbar

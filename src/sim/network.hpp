@@ -1,0 +1,171 @@
+// The network: routers, channels, injection queues, packet reassembly,
+// SCARAB retransmission control and the per-cycle simulation loop.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "fault/fault_model.hpp"
+#include "fault/link_faults.hpp"
+#include "routing/route_table.hpp"
+#include "power/energy_model.hpp"
+#include "router/factory.hpp"
+#include "sim/nack_network.hpp"
+#include "topology/mesh.hpp"
+#include "traffic/traffic_gen.hpp"
+
+namespace dxbar {
+
+/// Optional observer of network events, for debugging and journey
+/// visualisation (`examples/packet_journey`).  All callbacks fire inside
+/// Network::step; keep them cheap.
+class EventTracer {
+ public:
+  virtual ~EventTracer() = default;
+  virtual void on_packet_created(PacketId id, NodeId src, NodeId dst,
+                                 int length, Cycle now) {
+    (void)id; (void)src; (void)dst; (void)length; (void)now;
+  }
+  /// A flit arrived at a router's input register.
+  virtual void on_flit_hop(const Flit& f, NodeId at, Cycle now) {
+    (void)f; (void)at; (void)now;
+  }
+  virtual void on_flit_ejected(const Flit& f, Cycle now) {
+    (void)f; (void)now;
+  }
+  /// SCARAB only: the flit was dropped and will be NACKed.
+  virtual void on_flit_dropped(const Flit& f, NodeId at, Cycle now) {
+    (void)f; (void)at; (void)now;
+  }
+  virtual void on_packet_completed(const PacketRecord& rec, Cycle now) {
+    (void)rec; (void)now;
+  }
+};
+
+class Network final : public Injector, public NackSink {
+ public:
+  /// Builds the mesh of routers for `cfg`; the fault plan defaults to
+  /// the one derived from cfg.fault_fraction / cfg.seed.
+  explicit Network(const SimConfig& cfg);
+  Network(const SimConfig& cfg, FaultPlan plan);
+  ~Network() override;
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// The workload drives injection; must outlive the network's use.
+  void set_workload(WorkloadModel* w) { workload_ = w; }
+
+  /// Optional event observer (may be null to detach).
+  void set_tracer(EventTracer* t) { tracer_ = t; }
+
+  /// Advance one cycle: channel movement, arrivals, injection, router
+  /// switching, ejection/reassembly, NACK deliveries.
+  void step();
+
+  [[nodiscard]] Cycle now() const noexcept { return now_; }
+
+  /// No flit anywhere in the system (queues, routers, links, NACKs).
+  [[nodiscard]] bool idle() const;
+
+  // --- Injector -------------------------------------------------------
+  PacketId inject_packet(NodeId src, NodeId dst, int length,
+                         Cycle now) override;
+
+  // --- NackSink (SCARAB) ----------------------------------------------
+  void on_drop(const Flit& flit, NodeId at, Cycle now) override;
+
+  // --- component access -------------------------------------------------
+  [[nodiscard]] const Mesh& mesh() const noexcept { return mesh_; }
+  [[nodiscard]] const SimConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] StatsCollector& stats() noexcept { return stats_; }
+  [[nodiscard]] EnergyMeter& energy() noexcept { return energy_; }
+  [[nodiscard]] Router& router(NodeId n) { return *routers_[n]; }
+  [[nodiscard]] const FaultPlan& faults() const noexcept { return faults_; }
+  [[nodiscard]] const LinkFaultPlan& link_faults() const noexcept {
+    return link_faults_;
+  }
+
+  // --- global accounting (whole run, not just the window) ---------------
+  [[nodiscard]] std::uint64_t flits_created() const noexcept {
+    return flits_created_;
+  }
+  [[nodiscard]] std::uint64_t flits_delivered() const noexcept {
+    return flits_delivered_;
+  }
+  [[nodiscard]] std::uint64_t packets_created() const noexcept {
+    return packets_created_;
+  }
+  [[nodiscard]] std::uint64_t packets_delivered() const noexcept {
+    return packets_delivered_;
+  }
+  [[nodiscard]] std::uint64_t flits_dropped() const noexcept {
+    return flits_dropped_;
+  }
+
+  /// Per-link flit counts since construction (utilization analysis).
+  struct LinkUsage {
+    LinkId link;
+    std::uint64_t flits = 0;
+  };
+  [[nodiscard]] std::vector<LinkUsage> link_usage() const;
+
+ private:
+  /// One directed link: the channel plus where it delivers.
+  struct Link {
+    std::unique_ptr<Channel> channel;
+    NodeId dst_node = kInvalidNode;
+    int dst_port = 0;  ///< input port index at the destination router
+  };
+
+  [[nodiscard]] int link_index(NodeId node, int dir) const noexcept {
+    return static_cast<int>(node) * kNumLinkDirs + dir;
+  }
+
+  void build();
+  void handle_ejections();
+  void scarab_release_staging();
+  void scarab_deliver_nacks();
+
+  SimConfig cfg_;
+  Mesh mesh_;
+  EnergyMeter energy_;
+  FaultPlan faults_;
+  LinkFaultPlan link_faults_;
+  std::unique_ptr<RouteTable> route_table_;  ///< set iff link faults exist
+  StatsCollector stats_;
+  WorkloadModel* workload_ = nullptr;
+  EventTracer* tracer_ = nullptr;
+
+  std::vector<Link> links_;  ///< indexed by link_index(); channel may be null
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<InjectionQueue> sources_;
+
+  /// Packet reassembly at the destination MSHRs.
+  struct Assembly {
+    int received = 0;
+    PacketRecord rec;
+  };
+  std::unordered_map<PacketId, Assembly> assembly_;
+
+  // SCARAB retransmission control: freshly created flits wait in staging
+  // until the source's retransmit buffer has room.
+  std::vector<std::deque<Flit>> scarab_staging_;
+  std::vector<int> scarab_outstanding_;
+  int scarab_capacity_flits_ = 0;
+  NackNetwork nacks_;
+
+  Cycle now_ = 0;
+  PacketId next_packet_ = 1;
+  std::uint64_t flits_created_ = 0;
+  std::uint64_t flits_delivered_ = 0;
+  std::uint64_t packets_created_ = 0;
+  std::uint64_t packets_delivered_ = 0;
+  std::uint64_t flits_dropped_ = 0;
+};
+
+}  // namespace dxbar

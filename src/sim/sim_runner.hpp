@@ -1,0 +1,61 @@
+// Experiment drivers: open-loop (warmup / measure / drain) runs for the
+// synthetic-traffic figures and closed-loop runs for the SPLASH-2
+// substitute.
+#pragma once
+
+#include <memory>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "sim/network.hpp"
+#include "traffic/splash.hpp"
+#include "traffic/trace_io.hpp"
+
+namespace dxbar {
+
+/// One open-loop simulation: Bernoulli injection of cfg.pattern at
+/// cfg.offered_load, measured over cfg.measure_cycles after
+/// cfg.warmup_cycles, then drained (injection off) for up to
+/// cfg.drain_cycles.  Energy accumulates only during the measurement
+/// window.  Fully deterministic for a given cfg.
+RunStats run_open_loop(const SimConfig& cfg);
+
+/// Like run_open_loop but against a caller-provided workload (e.g. a
+/// trace replay).  The workload must honour set_injection_enabled.
+RunStats run_open_loop(const SimConfig& cfg, WorkloadModel& workload);
+
+/// Open-loop run that also returns the per-packet records of the
+/// measurement window (for per-node fairness analysis, latency
+/// distributions, custom post-processing).
+struct DetailedRun {
+  RunStats stats;
+  std::vector<PacketRecord> packets;  ///< window packets, completion order
+};
+DetailedRun run_open_loop_detailed(const SimConfig& cfg);
+
+/// Result of a closed-loop (fixed-work) run.
+struct ClosedLoopResult {
+  Cycle completion_cycles = 0;  ///< "execution time" of the workload
+  bool finished = false;        ///< false when the cycle cap was hit
+  std::uint64_t packets = 0;
+  double energy_nj = 0.0;       ///< whole-run network energy
+  double energy_per_packet_nj = 0.0;
+  double avg_packet_latency = 0.0;
+};
+
+/// Runs a SPLASH-2 substitute application to completion (or `max_cycles`)
+/// in closed-loop mode (the network's latency feeds back into issue).
+ClosedLoopResult run_splash(const SimConfig& cfg, const SplashProfile& app,
+                            Cycle max_cycles = 2'000'000);
+
+/// Replays a packet trace open-loop (the paper's trace methodology);
+/// completion_cycles is the makespan until the last packet drains.
+ClosedLoopResult run_trace_replay(const SimConfig& cfg,
+                                  std::vector<TraceEntry> entries,
+                                  Cycle max_cycles = 2'000'000);
+
+/// Runs an arbitrary closed-loop workload to completion + drain.
+ClosedLoopResult run_closed_loop(const SimConfig& cfg,
+                                 WorkloadModel& workload, Cycle max_cycles);
+
+}  // namespace dxbar

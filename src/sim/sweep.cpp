@@ -1,0 +1,46 @@
+#include "sim/sweep.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "sim/sim_runner.hpp"
+
+namespace dxbar {
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  unsigned threads) {
+  if (n == 0) return;
+  unsigned workers = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 4;
+  if (workers > n) workers = static_cast<unsigned>(n);
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+std::vector<RunStats> run_sweep(const std::vector<SimConfig>& configs,
+                                unsigned threads) {
+  std::vector<RunStats> results(configs.size());
+  parallel_for(
+      configs.size(),
+      [&](std::size_t i) { results[i] = run_open_loop(configs[i]); }, threads);
+  return results;
+}
+
+}  // namespace dxbar

@@ -1,0 +1,26 @@
+// Parallel parameter sweeps.
+//
+// Simulation points are independent, deterministic, and CPU-bound, so
+// benches fan them out over a small thread pool.  Results come back in
+// input order regardless of completion order.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+
+namespace dxbar {
+
+/// Runs run_open_loop for every config, using up to `threads` worker
+/// threads (0 == hardware concurrency).  Results align with `configs`.
+std::vector<RunStats> run_sweep(const std::vector<SimConfig>& configs,
+                                unsigned threads = 0);
+
+/// Generic parallel map over an index range [0, n): `fn(i)` must be
+/// thread-safe and is invoked exactly once per index.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  unsigned threads = 0);
+
+}  // namespace dxbar

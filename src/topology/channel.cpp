@@ -1,0 +1,8 @@
+// Channel is header-only; this translation unit exists so the topology
+// library has a home for future out-of-line channel variants and to keep
+// one-TU-per-module symmetry.
+#include "topology/channel.hpp"
+
+namespace dxbar {
+// Intentionally empty.
+}  // namespace dxbar

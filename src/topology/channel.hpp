@@ -1,0 +1,158 @@
+// Directed link channel between two routers.
+//
+// A flit sent during router cycle t occupies the link (LT stage) during
+// t+1 and is delivered to the downstream input register at the start of
+// t+2 — giving the paper's 2-cycle per-hop latency for the single-stage
+// (SA/ST + LT) router pipelines.
+//
+// The channel also carries credits in the reverse direction with one
+// cycle of return latency.  Credit-free channels (Flit-Bless / SCARAB
+// links) are constructed with `kUnlimitedCredits`.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <vector>
+
+#include "common/flit.hpp"
+
+namespace dxbar {
+
+inline constexpr int kUnlimitedCredits = -1;
+
+class Channel {
+ public:
+  /// `credits` is the downstream buffer capacity backing this link, or
+  /// kUnlimitedCredits for bufferless (never-blocking) links.
+  explicit Channel(int credits = kUnlimitedCredits) : credits_(credits) {}
+
+  /// Virtual-channel variant: `num_vcs` independent credit pools of
+  /// `per_vc_credits` each (VC baseline router).  The aggregate
+  /// `credits()`/`can_send()` interface keeps working and equals the
+  /// pool sum; per-VC admission uses the *_vc methods.
+  Channel(int num_vcs, int per_vc_credits)
+      : credits_(num_vcs * per_vc_credits),
+        vc_credits_(static_cast<std::size_t>(num_vcs), per_vc_credits),
+        vc_pending_(static_cast<std::size_t>(num_vcs), 0) {}
+
+  [[nodiscard]] int num_vcs() const noexcept {
+    return static_cast<int>(vc_credits_.size());
+  }
+
+  /// A credit is available on the given VC and the link is free.
+  [[nodiscard]] bool can_send_vc(int vc) const noexcept {
+    if (staged_.has_value() || stop_) return false;
+    return vc_credits_[static_cast<std::size_t>(vc)] > 0;
+  }
+
+  /// Stage a flit on a specific VC; consumes one credit of that VC.
+  void send_vc(Flit f, int vc) {
+    assert(can_send_vc(vc));
+    f.vc = static_cast<std::uint8_t>(vc);
+    --vc_credits_[static_cast<std::size_t>(vc)];
+    --credits_;
+    staged_ = f;
+    ++total_sends_;
+  }
+
+  /// Downstream freed a slot of the given VC.
+  void return_credit_vc(int vc) noexcept {
+    ++vc_pending_[static_cast<std::size_t>(vc)];
+    ++pending_credits_;
+  }
+
+  // ---- upstream (sender) side ----------------------------------------
+
+  /// True when the sender holds a credit (always true when unlimited),
+  /// the receiver has not asserted stop, and no flit was already sent
+  /// this cycle.
+  [[nodiscard]] bool can_send() const noexcept {
+    if (staged_.has_value() || stop_) return false;
+    return credits_ == kUnlimitedCredits || credits_ > 0;
+  }
+
+  /// Stage a flit for link traversal; consumes one credit when limited.
+  void send(Flit f) {
+    assert(can_send());
+    if (credits_ != kUnlimitedCredits) --credits_;
+    staged_ = f;
+    ++total_sends_;
+  }
+
+  /// Flits ever sent over this link (utilization accounting).
+  [[nodiscard]] std::uint64_t total_sends() const noexcept {
+    return total_sends_;
+  }
+
+  [[nodiscard]] int credits() const noexcept { return credits_; }
+
+  // ---- downstream (receiver) side -------------------------------------
+
+  /// The flit delivered this cycle, if any.  The network moves it into
+  /// the downstream router's input register and clears it.
+  [[nodiscard]] std::optional<Flit> take_arrival() noexcept {
+    auto out = arrived_;
+    arrived_.reset();
+    return out;
+  }
+
+  /// Downstream frees a buffer slot (or forwarded the flit without ever
+  /// buffering it); the credit becomes usable upstream next cycle.
+  void return_credit() noexcept {
+    if (credits_ != kUnlimitedCredits) ++pending_credits_;
+  }
+
+  /// On/off flow control (DXbar/Unified): the receiver asserts stop while
+  /// its input FIFO is full.  Takes effect upstream one cycle later, so
+  /// up to two in-flight flits can still arrive at a full FIFO — the
+  /// router's deflection escape valve absorbs exactly that race.
+  void set_stop(bool stop) noexcept { stop_pending_ = stop; }
+
+  /// Sendability ignoring the stop signal.  Used by the deflection
+  /// escape valve and the stall-escape override: sending into a stopped
+  /// (full) receiver is *safe* — the arrival becomes a must-win flit
+  /// there — stop is only a congestion heuristic, so liveness paths
+  /// may override it.
+  [[nodiscard]] bool can_send_ignoring_stop() const noexcept {
+    if (staged_.has_value()) return false;
+    return credits_ == kUnlimitedCredits || credits_ > 0;
+  }
+
+  // ---- per-cycle advance, called once by the network --------------------
+
+  /// Moves the pipeline one cycle: in-flight -> arrived, staged -> in-flight,
+  /// pending credit returns -> usable credits.
+  void advance() noexcept {
+    assert(!arrived_.has_value() && "previous arrival was not consumed");
+    arrived_ = in_flight_;
+    in_flight_ = staged_;
+    staged_.reset();
+    credits_ += pending_credits_;
+    pending_credits_ = 0;
+    for (std::size_t v = 0; v < vc_credits_.size(); ++v) {
+      vc_credits_[v] += vc_pending_[v];
+      vc_pending_[v] = 0;
+    }
+    stop_ = stop_pending_;
+  }
+
+  /// Flits currently inside the channel (staged or on the wire).
+  [[nodiscard]] int occupancy() const noexcept {
+    return (staged_.has_value() ? 1 : 0) + (in_flight_.has_value() ? 1 : 0) +
+           (arrived_.has_value() ? 1 : 0);
+  }
+
+ private:
+  int credits_;
+  int pending_credits_ = 0;
+  std::vector<int> vc_credits_;  ///< empty unless VC-constructed
+  std::vector<int> vc_pending_;
+  std::uint64_t total_sends_ = 0;
+  bool stop_ = false;
+  bool stop_pending_ = false;
+  std::optional<Flit> staged_;     ///< sent this cycle (ST just finished)
+  std::optional<Flit> in_flight_;  ///< on the wire (LT stage)
+  std::optional<Flit> arrived_;    ///< at the downstream input register
+};
+
+}  // namespace dxbar

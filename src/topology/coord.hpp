@@ -1,0 +1,24 @@
+// (x, y) coordinates on the mesh and conversions to flat node ids.
+#pragma once
+
+#include <cstdlib>
+
+#include "common/types.hpp"
+
+namespace dxbar {
+
+struct Coord {
+  int x = 0;
+  int y = 0;
+
+  friend constexpr bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// Manhattan distance between two coordinates.
+constexpr int manhattan(Coord a, Coord b) noexcept {
+  const int dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+  const int dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+  return dx + dy;
+}
+
+}  // namespace dxbar

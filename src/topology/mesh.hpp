@@ -1,0 +1,95 @@
+// k-ary 2-mesh topology: node/coordinate mapping, neighbour lookup and
+// link enumeration.  Pure geometry — no simulation state lives here.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "topology/coord.hpp"
+
+namespace dxbar {
+
+/// A directed link endpoint: the output `dir` of router `node`.
+struct LinkId {
+  NodeId node = kInvalidNode;
+  Direction dir = Direction::Local;
+
+  friend constexpr bool operator==(const LinkId&, const LinkId&) = default;
+};
+
+class Mesh {
+ public:
+  /// `wrap` turns the mesh into a torus: edge links wrap around and
+  /// distances take the shorter way per dimension.
+  Mesh(int width, int height, bool wrap = false);
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] int num_nodes() const noexcept { return width_ * height_; }
+  [[nodiscard]] bool wraps() const noexcept { return wrap_; }
+
+  /// Signed x-offset of the shortest route from `from` to `to`
+  /// (positive = east); on a torus ties break eastward.
+  [[nodiscard]] int offset_x(NodeId from, NodeId to) const noexcept {
+    return axis_offset(coord(to).x - coord(from).x, width_);
+  }
+
+  /// Signed y-offset of the shortest route (positive = north).
+  [[nodiscard]] int offset_y(NodeId from, NodeId to) const noexcept {
+    return axis_offset(coord(to).y - coord(from).y, height_);
+  }
+
+  [[nodiscard]] Coord coord(NodeId n) const noexcept {
+    return {static_cast<int>(n) % width_, static_cast<int>(n) / width_};
+  }
+
+  [[nodiscard]] NodeId node(Coord c) const noexcept {
+    return static_cast<NodeId>(c.y * width_ + c.x);
+  }
+
+  [[nodiscard]] NodeId node(int x, int y) const noexcept {
+    return node(Coord{x, y});
+  }
+
+  [[nodiscard]] bool contains(Coord c) const noexcept {
+    return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
+  }
+
+  /// The neighbour reached over output `dir`, or nullopt at a mesh edge.
+  [[nodiscard]] std::optional<NodeId> neighbor(NodeId n, Direction dir) const;
+
+  /// True when router `n` has a link in direction `dir`.
+  [[nodiscard]] bool has_link(NodeId n, Direction dir) const {
+    return neighbor(n, dir).has_value();
+  }
+
+  /// Hop distance under minimal routing (wrap-aware on a torus).
+  [[nodiscard]] int distance(NodeId a, NodeId b) const noexcept {
+    if (!wrap_) return manhattan(coord(a), coord(b));
+    return std::abs(offset_x(a, b)) + std::abs(offset_y(a, b));
+  }
+
+  /// Every directed link in the mesh, deterministic order.
+  [[nodiscard]] std::vector<LinkId> all_links() const;
+
+  /// Average minimal hop count over all (src != dst) pairs — used for the
+  /// uniform-random capacity normalisation.
+  [[nodiscard]] double average_distance() const;
+
+ private:
+  /// Shortest signed offset along one axis of length `k` (torus-aware).
+  [[nodiscard]] int axis_offset(int delta, int k) const noexcept {
+    if (!wrap_) return delta;
+    // Normalize into (-k/2, k/2]; ties (delta == k/2) go positive.
+    int d = delta % k;
+    if (d < 0) d += k;
+    return d <= k / 2 ? d : d - k;
+  }
+
+  int width_;
+  int height_;
+  bool wrap_;
+};
+
+}  // namespace dxbar

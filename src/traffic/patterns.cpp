@@ -1,0 +1,89 @@
+#include "traffic/patterns.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace dxbar {
+namespace {
+
+/// Number of index bits when N is a power of two, else 0.
+int index_bits(int num_nodes) {
+  if (!std::has_single_bit(static_cast<unsigned>(num_nodes))) return 0;
+  return std::countr_zero(static_cast<unsigned>(num_nodes));
+}
+
+NodeId bit_reverse(NodeId v, int bits) {
+  NodeId out = 0;
+  for (int i = 0; i < bits; ++i) {
+    out = (out << 1) | ((v >> i) & 1u);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool is_hotspot(const Mesh& mesh, NodeId n) {
+  const Coord c = mesh.coord(n);
+  const int cx = mesh.width() / 2;
+  const int cy = mesh.height() / 2;
+  return (c.x == cx || c.x == cx - 1) && (c.y == cy || c.y == cy - 1);
+}
+
+NodeId pattern_destination(TrafficPattern p, const Mesh& mesh, NodeId src,
+                           Rng& rng) {
+  const int n = mesh.num_nodes();
+  const int bits = index_bits(n);
+  const Coord c = mesh.coord(src);
+
+  switch (p) {
+    case TrafficPattern::UniformRandom: {
+      // Uniform over all other nodes.
+      NodeId dst = rng.below(static_cast<std::uint32_t>(n - 1));
+      if (dst >= src) ++dst;
+      return dst;
+    }
+    case TrafficPattern::NonUniformRandom: {
+      // 25% additional traffic to the four-node hot-spot group.
+      if (rng.bernoulli(0.25)) {
+        const int cx = mesh.width() / 2;
+        const int cy = mesh.height() / 2;
+        const std::uint32_t k = rng.below(4);
+        const NodeId dst = mesh.node(cx - 1 + static_cast<int>(k % 2),
+                                     cy - 1 + static_cast<int>(k / 2));
+        if (dst != src) return dst;
+      }
+      NodeId dst = rng.below(static_cast<std::uint32_t>(n - 1));
+      if (dst >= src) ++dst;
+      return dst;
+    }
+    case TrafficPattern::BitReversal:
+      assert(bits > 0 && "bit permutations need a power-of-two node count");
+      return bit_reverse(src, bits);
+    case TrafficPattern::Butterfly: {
+      assert(bits > 0 && "bit permutations need a power-of-two node count");
+      const NodeId lo = src & 1u;
+      const NodeId hi = (src >> (bits - 1)) & 1u;
+      NodeId dst = src & ~((NodeId{1} << (bits - 1)) | 1u);
+      dst |= (lo << (bits - 1)) | hi;
+      return dst;
+    }
+    case TrafficPattern::Complement:
+      assert(bits > 0 && "bit permutations need a power-of-two node count");
+      return (~src) & static_cast<NodeId>(n - 1);
+    case TrafficPattern::Transpose:
+      // Defined for square meshes; asymmetric meshes wrap coordinates.
+      return mesh.node(c.y % mesh.width(), c.x % mesh.height());
+    case TrafficPattern::PerfectShuffle: {
+      assert(bits > 0 && "bit permutations need a power-of-two node count");
+      const NodeId msb = (src >> (bits - 1)) & 1u;
+      return ((src << 1) | msb) & static_cast<NodeId>(n - 1);
+    }
+    case TrafficPattern::Neighbor:
+      return mesh.node((c.x + 1) % mesh.width(), c.y);
+    case TrafficPattern::Tornado:
+      return mesh.node((c.x + (mesh.width() + 1) / 2 - 1) % mesh.width(), c.y);
+  }
+  return src;
+}
+
+}  // namespace dxbar

@@ -1,0 +1,24 @@
+// Destination functions for the nine synthetic traffic patterns
+// (paper section III.A).  The permutation patterns operate on the
+// log2(N)-bit node index (the standard definitions from Dally & Towles)
+// and therefore require a power-of-two node count; coordinate patterns
+// (MT, NB, TOR) work on any mesh.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "topology/mesh.hpp"
+
+namespace dxbar {
+
+/// Destination for a packet injected at `src`.  Random patterns (UR, NUR)
+/// draw from `rng`; deterministic patterns ignore it.  May return `src`
+/// (a fixed point of the permutation) — callers skip such packets.
+NodeId pattern_destination(TrafficPattern p, const Mesh& mesh, NodeId src,
+                           Rng& rng);
+
+/// The hot-spot node group NUR concentrates its extra traffic on: the
+/// four center nodes of the mesh.
+bool is_hotspot(const Mesh& mesh, NodeId n);
+
+}  // namespace dxbar

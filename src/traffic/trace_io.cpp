@@ -1,0 +1,62 @@
+#include "traffic/trace_io.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dxbar {
+
+std::vector<TraceEntry> read_trace(std::istream& is) {
+  std::vector<TraceEntry> entries;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    TraceEntry e;
+    if (!(ls >> e.cycle)) continue;  // blank or comment-only line
+    if (!(ls >> e.src >> e.dst >> e.length) || e.length < 1) {
+      throw std::runtime_error("malformed trace line " +
+                               std::to_string(lineno));
+    }
+    entries.push_back(e);
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const TraceEntry& a, const TraceEntry& b) {
+                     return a.cycle < b.cycle;
+                   });
+  return entries;
+}
+
+void write_trace(std::ostream& os, std::span<const TraceEntry> entries) {
+  os << "# cycle src dst length\n";
+  for (const TraceEntry& e : entries) {
+    os << e.cycle << ' ' << e.src << ' ' << e.dst << ' ' << e.length << '\n';
+  }
+}
+
+TraceWorkload::TraceWorkload(std::vector<TraceEntry> entries)
+    : entries_(std::move(entries)) {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const TraceEntry& a, const TraceEntry& b) {
+                     return a.cycle < b.cycle;
+                   });
+}
+
+void TraceWorkload::begin_cycle(Cycle now, Injector& inject) {
+  if (!enabled_) {
+    // Skip entries scheduled while injection is disabled.
+    while (next_ < entries_.size() && entries_[next_].cycle <= now) ++next_;
+    return;
+  }
+  while (next_ < entries_.size() && entries_[next_].cycle <= now) {
+    const TraceEntry& e = entries_[next_++];
+    if (e.src != e.dst) inject.inject_packet(e.src, e.dst, e.length, now);
+  }
+}
+
+}  // namespace dxbar

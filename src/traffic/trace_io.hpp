@@ -1,0 +1,73 @@
+// Plain-text packet trace format and replay workload.
+//
+// Format: one packet per line, "<cycle> <src> <dst> <length>", '#'
+// comments and blank lines ignored, entries sorted by cycle.  Traces
+// recorded from one design (or produced externally) can be replayed
+// open-loop against any other design for apples-to-apples comparisons.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "traffic/traffic_gen.hpp"
+
+namespace dxbar {
+
+struct TraceEntry {
+  Cycle cycle = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  int length = 1;
+
+  friend bool operator==(const TraceEntry&, const TraceEntry&) = default;
+};
+
+/// Parses a trace; throws std::runtime_error on malformed input.
+/// Entries are returned sorted by cycle (stable).
+std::vector<TraceEntry> read_trace(std::istream& is);
+
+/// Writes entries in the canonical format.
+void write_trace(std::ostream& os, std::span<const TraceEntry> entries);
+
+/// Replays a trace open-loop: each entry is injected at its cycle.
+class TraceWorkload final : public WorkloadModel {
+ public:
+  explicit TraceWorkload(std::vector<TraceEntry> entries);
+
+  void begin_cycle(Cycle now, Injector& inject) override;
+  /// All entries have been injected (the network may still be draining).
+  [[nodiscard]] bool finished() const override {
+    return next_ >= entries_.size();
+  }
+  void set_injection_enabled(bool on) override { enabled_ = on; }
+
+ private:
+  std::vector<TraceEntry> entries_;
+  std::size_t next_ = 0;
+  bool enabled_ = true;
+};
+
+/// Records every injected packet; used to capture traces from synthetic
+/// or SPLASH workloads for later replay.
+class RecordingInjector final : public Injector {
+ public:
+  explicit RecordingInjector(Injector& inner) : inner_(inner) {}
+
+  PacketId inject_packet(NodeId src, NodeId dst, int length,
+                         Cycle now) override {
+    entries_.push_back({now, src, dst, length});
+    return inner_.inject_packet(src, dst, length, now);
+  }
+
+  [[nodiscard]] const std::vector<TraceEntry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  Injector& inner_;
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace dxbar

@@ -1,0 +1,24 @@
+#include "traffic/traffic_gen.hpp"
+
+namespace dxbar {
+
+SyntheticWorkload::SyntheticWorkload(const SimConfig& cfg, const Mesh& mesh)
+    : mesh_(mesh),
+      pattern_(cfg.pattern),
+      packet_probability_(cfg.offered_load /
+                          static_cast<double>(cfg.packet_length)),
+      packet_length_(cfg.packet_length),
+      rng_(cfg.seed ^ 0x7AFF1CULL) {}
+
+void SyntheticWorkload::begin_cycle(Cycle now, Injector& inject) {
+  if (!enabled_) return;
+  const int n = mesh_.num_nodes();
+  for (NodeId src = 0; src < static_cast<NodeId>(n); ++src) {
+    if (!rng_.bernoulli(packet_probability_)) continue;
+    const NodeId dst = pattern_destination(pattern_, mesh_, src, rng_);
+    if (dst == src) continue;  // fixed point of a permutation pattern
+    inject.inject_packet(src, dst, packet_length_, now);
+  }
+}
+
+}  // namespace dxbar

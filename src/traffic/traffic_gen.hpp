@@ -1,0 +1,69 @@
+// Workload abstraction: how packets enter the network.
+//
+// Open-loop synthetic traffic (Figs 5-8, 11-12) injects by a Bernoulli
+// process at a configured offered load; closed-loop workloads (the
+// SPLASH-2 substitute, Figs 9-10) react to delivered packets and finish
+// after a fixed amount of work.
+#pragma once
+
+#include "common/config.hpp"
+#include "common/flit.hpp"
+#include "common/rng.hpp"
+#include "topology/mesh.hpp"
+#include "traffic/patterns.hpp"
+
+namespace dxbar {
+
+/// Provided by the network: creates a packet's flits in the source queue
+/// of `src` and returns the packet id for correlation.
+class Injector {
+ public:
+  virtual ~Injector() = default;
+  virtual PacketId inject_packet(NodeId src, NodeId dst, int length,
+                                 Cycle now) = 0;
+};
+
+class WorkloadModel {
+ public:
+  virtual ~WorkloadModel() = default;
+
+  /// Called at the start of every cycle; enqueue new packets here.
+  virtual void begin_cycle(Cycle now, Injector& inject) = 0;
+
+  /// A packet finished reassembly at its destination.
+  virtual void on_packet_delivered(const PacketRecord& rec, Cycle now,
+                                   Injector& inject) {
+    (void)rec;
+    (void)now;
+    (void)inject;
+  }
+
+  /// Closed-loop workloads report completion; open-loop never finishes.
+  [[nodiscard]] virtual bool finished() const { return false; }
+
+  /// Open-loop drain control: the runner disables injection after the
+  /// measurement window.
+  virtual void set_injection_enabled(bool on) { (void)on; }
+};
+
+/// Bernoulli open-loop injection of one of the nine synthetic patterns.
+/// Each node independently starts a packet with probability
+/// offered_load / packet_length per cycle, so the offered *flit* rate
+/// per node equals the configured load.
+class SyntheticWorkload final : public WorkloadModel {
+ public:
+  SyntheticWorkload(const SimConfig& cfg, const Mesh& mesh);
+
+  void begin_cycle(Cycle now, Injector& inject) override;
+  void set_injection_enabled(bool on) override { enabled_ = on; }
+
+ private:
+  const Mesh& mesh_;
+  TrafficPattern pattern_;
+  double packet_probability_;
+  int packet_length_;
+  Rng rng_;
+  bool enabled_ = true;
+};
+
+}  // namespace dxbar

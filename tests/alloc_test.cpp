@@ -1,0 +1,319 @@
+// Unit and property tests for alloc/: arbiters, separable allocator,
+// unified dual-input allocator, fairness counter.
+#include <gtest/gtest.h>
+
+#include "alloc/arbiter.hpp"
+#include "alloc/fairness.hpp"
+#include "alloc/separable_allocator.hpp"
+#include "alloc/unified_allocator.hpp"
+#include "common/rng.hpp"
+
+namespace dxbar {
+namespace {
+
+TEST(RoundRobin, GrantsRotate) {
+  RoundRobinArbiter arb(4);
+  EXPECT_EQ(arb.grant(0b1111), 0);
+  EXPECT_EQ(arb.grant(0b1111), 1);
+  EXPECT_EQ(arb.grant(0b1111), 2);
+  EXPECT_EQ(arb.grant(0b1111), 3);
+  EXPECT_EQ(arb.grant(0b1111), 0);
+}
+
+TEST(RoundRobin, SkipsNonRequesters) {
+  RoundRobinArbiter arb(4);
+  EXPECT_EQ(arb.grant(0b0100), 2);
+  EXPECT_EQ(arb.grant(0b0011), 0);  // priority pointer at 3, wraps to 0
+  EXPECT_EQ(arb.grant(0b0010), 1);
+}
+
+TEST(RoundRobin, NoRequests) {
+  RoundRobinArbiter arb(4);
+  EXPECT_EQ(arb.grant(0), -1);
+  EXPECT_EQ(arb.pick(0), -1);
+}
+
+TEST(RoundRobin, FairnessOverManyCycles) {
+  RoundRobinArbiter arb(3);
+  int wins[3] = {0, 0, 0};
+  for (int i = 0; i < 300; ++i) ++wins[arb.grant(0b111)];
+  EXPECT_EQ(wins[0], 100);
+  EXPECT_EQ(wins[1], 100);
+  EXPECT_EQ(wins[2], 100);
+}
+
+TEST(PickOldest, FindsOldestAndHandlesNulls) {
+  Flit a{.packet = 1, .born_at = 30};
+  Flit b{.packet = 2, .born_at = 10};
+  Flit c{.packet = 3, .born_at = 20};
+  const Flit* cands[4] = {&a, nullptr, &b, &c};
+  EXPECT_EQ(pick_oldest(cands), 2);
+
+  const Flit* none[2] = {nullptr, nullptr};
+  EXPECT_EQ(pick_oldest(none), -1);
+}
+
+// ---- separable allocator -----------------------------------------------
+
+bool grants_are_legal(const std::vector<std::uint32_t>& req,
+                      const std::vector<int>& grant, int num_outputs) {
+  std::vector<int> out_owner(static_cast<std::size_t>(num_outputs), -1);
+  for (std::size_t i = 0; i < grant.size(); ++i) {
+    const int o = grant[i];
+    if (o < 0) continue;
+    if (!(req[i] & (1u << o))) return false;            // unrequested grant
+    if (out_owner[static_cast<std::size_t>(o)] >= 0) return false;  // dup
+    out_owner[static_cast<std::size_t>(o)] = static_cast<int>(i);
+  }
+  return true;
+}
+
+TEST(Separable, SingleRequestGranted) {
+  SeparableAllocator alloc(5, 5);
+  std::vector<std::uint32_t> req(5, 0);
+  req[2] = 0b00010;  // input 2 wants output 1
+  const auto g = alloc.allocate(req);
+  EXPECT_EQ(g[2], 1);
+  EXPECT_TRUE(grants_are_legal(req, g, 5));
+}
+
+TEST(Separable, ConflictGrantsExactlyOne) {
+  SeparableAllocator alloc(5, 5);
+  std::vector<std::uint32_t> req(5, 0);
+  req[0] = req[1] = req[2] = 0b00001;  // all want output 0
+  const auto g = alloc.allocate(req);
+  int winners = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (g[static_cast<std::size_t>(i)] == 0) ++winners;
+  }
+  EXPECT_EQ(winners, 1);
+  EXPECT_TRUE(grants_are_legal(req, g, 5));
+}
+
+TEST(Separable, DisjointRequestsAllGranted) {
+  SeparableAllocator alloc(5, 5);
+  std::vector<std::uint32_t> req(5, 0);
+  for (int i = 0; i < 5; ++i) req[static_cast<std::size_t>(i)] = 1u << i;
+  const auto g = alloc.allocate(req);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(g[static_cast<std::size_t>(i)], i);
+}
+
+// Property: random request matrices always yield legal matchings, and
+// any input whose every requested output went ungranted to anyone would
+// contradict output-first arbitration (maximality at the output stage).
+TEST(Separable, RandomRequestsAlwaysLegal) {
+  SeparableAllocator alloc(5, 5);
+  Rng rng(123);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<std::uint32_t> req(5);
+    for (auto& r : req) r = static_cast<std::uint32_t>(rng()) & 0x1F;
+    const auto g = alloc.allocate(req);
+    ASSERT_TRUE(grants_are_legal(req, g, 5));
+    // Output-stage maximality: a requested output with no winner at all
+    // means no input requested it (stage 1 always picks a requester).
+    std::uint32_t requested = 0, granted = 0;
+    for (int i = 0; i < 5; ++i) {
+      requested |= req[static_cast<std::size_t>(i)];
+      if (g[static_cast<std::size_t>(i)] >= 0) {
+        granted |= 1u << g[static_cast<std::size_t>(i)];
+      }
+    }
+    // Every requested output was won by someone at stage 1; stage 2 can
+    // drop it only if that input also won another output.  So at least
+    // one grant exists whenever any request exists.
+    if (requested != 0) {
+      ASSERT_NE(granted, 0u);
+    }
+  }
+}
+
+TEST(Separable, LongRunFairness) {
+  SeparableAllocator alloc(2, 1);
+  std::vector<std::uint32_t> req = {1, 1};  // both always want output 0
+  int wins[2] = {0, 0};
+  for (int i = 0; i < 1000; ++i) {
+    const auto g = alloc.allocate(req);
+    for (int k = 0; k < 2; ++k) {
+      if (g[static_cast<std::size_t>(k)] == 0) ++wins[k];
+    }
+  }
+  EXPECT_EQ(wins[0] + wins[1], 1000);
+  EXPECT_NEAR(wins[0], 500, 1);
+}
+
+// ---- unified dual-input allocator --------------------------------------
+
+UnifiedCandidate cand(std::uint32_t mask, std::uint64_t age,
+                      bool elevated = false) {
+  return {true, mask, age, elevated};
+}
+
+bool unified_legal(const std::array<UnifiedPortRequest, kNumPorts>& req,
+                   const UnifiedGrants& g) {
+  std::array<int, kNumPorts> owner;
+  owner.fill(-1);
+  for (int p = 0; p < kNumPorts; ++p) {
+    const auto& pg = g.port[static_cast<std::size_t>(p)];
+    const auto& pr = req[static_cast<std::size_t>(p)];
+    if (pg.incoming_out >= 0) {
+      if (!pr.incoming.valid) return false;
+      if (!(pr.incoming.request_mask & (1u << pg.incoming_out))) return false;
+      if (owner[static_cast<std::size_t>(pg.incoming_out)] >= 0) return false;
+      owner[static_cast<std::size_t>(pg.incoming_out)] = p;
+    }
+    if (pg.buffered_out >= 0) {
+      if (!pr.buffered.valid) return false;
+      if (!(pr.buffered.request_mask & (1u << pg.buffered_out))) return false;
+      if (owner[static_cast<std::size_t>(pg.buffered_out)] >= 0) return false;
+      owner[static_cast<std::size_t>(pg.buffered_out)] = p;
+    }
+  }
+  return true;
+}
+
+TEST(Unified, DualGrantSameInputPort) {
+  // The headline capability: I0 -> O2 while I0' -> O3 simultaneously.
+  UnifiedAllocator alloc;
+  std::array<UnifiedPortRequest, kNumPorts> req{};
+  req[0].incoming = cand(1u << 2, 10);
+  req[0].buffered = cand(1u << 3, 20);
+  const auto g = alloc.allocate(req, true);
+  EXPECT_EQ(g.port[0].incoming_out, 2);
+  EXPECT_EQ(g.port[0].buffered_out, 3);
+  EXPECT_TRUE(unified_legal(req, g));
+}
+
+TEST(Unified, ConflictSwapFiresWhenBindingsCross) {
+  // Both flits of port 1 won outputs, but the naive binding crosses:
+  // incoming wants only O4, buffered wants only O2; the won set is
+  // {O2, O4} with O2 first — direct binding fails, swap fixes it.
+  UnifiedAllocator alloc;
+  std::array<UnifiedPortRequest, kNumPorts> req{};
+  req[1].incoming = cand(1u << 4, 5);
+  req[1].buffered = cand(1u << 2, 7);
+  const auto g = alloc.allocate(req, true);
+  EXPECT_EQ(g.port[1].incoming_out, 4);
+  EXPECT_EQ(g.port[1].buffered_out, 2);
+  EXPECT_GE(g.swaps, 1);
+  EXPECT_TRUE(unified_legal(req, g));
+}
+
+TEST(Unified, IncomingPriorityWinsContestedOutput) {
+  UnifiedAllocator alloc;
+  std::array<UnifiedPortRequest, kNumPorts> req{};
+  req[0].incoming = cand(1u << 1, 50);  // younger incoming
+  req[2].buffered = cand(1u << 1, 10);  // older buffered
+  const auto g = alloc.allocate(req, /*incoming_priority=*/true);
+  EXPECT_EQ(g.port[0].incoming_out, 1);
+  EXPECT_EQ(g.port[2].buffered_out, -1);
+
+  // Fairness flip: the buffered flit now outranks the incoming one.
+  const auto flipped = alloc.allocate(req, /*incoming_priority=*/false);
+  EXPECT_EQ(flipped.port[0].incoming_out, -1);
+  EXPECT_EQ(flipped.port[2].buffered_out, 1);
+}
+
+TEST(Unified, AgeBreaksTiesWithinClass) {
+  UnifiedAllocator alloc;
+  std::array<UnifiedPortRequest, kNumPorts> req{};
+  req[0].incoming = cand(1u << 0, 30);
+  req[1].incoming = cand(1u << 0, 10);  // older, must win
+  const auto g = alloc.allocate(req, true);
+  EXPECT_EQ(g.port[0].incoming_out, -1);
+  EXPECT_EQ(g.port[1].incoming_out, 0);
+}
+
+TEST(Unified, ElevatedCandidateOutranksFavouredClass) {
+  UnifiedAllocator alloc;
+  std::array<UnifiedPortRequest, kNumPorts> req{};
+  req[0].incoming = cand(1u << 0, 5);
+  req[1].buffered = cand(1u << 0, 50, /*elevated=*/true);
+  const auto g = alloc.allocate(req, true);
+  // Elevated buffered ties at class 0 with the incoming flit; the older
+  // (age 5) incoming still wins on age.
+  EXPECT_EQ(g.port[0].incoming_out, 0);
+
+  req[1].buffered.age = 1;  // now older too
+  const auto g2 = alloc.allocate(req, true);
+  EXPECT_EQ(g2.port[1].buffered_out, 0);
+}
+
+// Property: random request matrices always produce legal grants, and
+// whenever a port's two flits requested two disjoint singleton outputs
+// that no other port contests, both get granted.
+TEST(Unified, RandomRequestsAlwaysLegal) {
+  UnifiedAllocator alloc;
+  Rng rng(77);
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::array<UnifiedPortRequest, kNumPorts> req{};
+    for (int p = 0; p < kNumPorts; ++p) {
+      if (rng.bernoulli(0.6)) {
+        req[static_cast<std::size_t>(p)].incoming =
+            cand(static_cast<std::uint32_t>(rng()) & 0x1F, rng() & 0xFF);
+      }
+      if (rng.bernoulli(0.6)) {
+        req[static_cast<std::size_t>(p)].buffered =
+            cand(static_cast<std::uint32_t>(rng()) & 0x1F, rng() & 0xFF);
+      }
+    }
+    const bool prio = rng.bernoulli(0.5);
+    const auto g = alloc.allocate(req, prio);
+    ASSERT_TRUE(unified_legal(req, g));
+  }
+}
+
+TEST(Unified, UncontestedDisjointSingletonsBothGranted) {
+  UnifiedAllocator alloc;
+  Rng rng(99);
+  for (int iter = 0; iter < 500; ++iter) {
+    const int o1 = static_cast<int>(rng.below(kNumPorts));
+    int o2 = static_cast<int>(rng.below(kNumPorts));
+    if (o2 == o1) o2 = (o1 + 1) % kNumPorts;
+    std::array<UnifiedPortRequest, kNumPorts> req{};
+    req[3].incoming = cand(1u << o1, rng() & 0xFF);
+    req[3].buffered = cand(1u << o2, rng() & 0xFF);
+    const auto g = alloc.allocate(req, true);
+    EXPECT_EQ(g.port[3].incoming_out, o1);
+    EXPECT_EQ(g.port[3].buffered_out, o2);
+  }
+}
+
+// ---- fairness counter ---------------------------------------------------
+
+TEST(Fairness, FlipsAfterThresholdConsecutiveWins) {
+  FairnessCounter fc(4);
+  for (int i = 0; i < 3; ++i) {
+    fc.record(true, false, true);
+    EXPECT_FALSE(fc.flipped());
+  }
+  fc.record(true, false, true);
+  EXPECT_TRUE(fc.flipped());
+}
+
+TEST(Fairness, WaitingWinResets) {
+  FairnessCounter fc(4);
+  fc.record(true, false, true);
+  fc.record(true, false, true);
+  fc.record(true, true, true);  // a waiting flit got through
+  EXPECT_EQ(fc.count(), 0);
+  EXPECT_FALSE(fc.flipped());
+}
+
+TEST(Fairness, CounterIdleWithoutWaiters) {
+  FairnessCounter fc(2);
+  for (int i = 0; i < 10; ++i) fc.record(false, false, true);
+  EXPECT_FALSE(fc.flipped());
+  EXPECT_EQ(fc.count(), 0);
+}
+
+TEST(Fairness, FlipClearsOnceServed) {
+  FairnessCounter fc(2);
+  fc.record(true, false, true);
+  fc.record(true, false, true);
+  EXPECT_TRUE(fc.flipped());
+  fc.record(true, true, false);  // flip cycle: waiting flit served
+  EXPECT_FALSE(fc.flipped());
+}
+
+}  // namespace
+}  // namespace dxbar

@@ -1,0 +1,172 @@
+// Focused tests for the generic buffered baseline routers and the
+// remaining channel corner cases.
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+#include "sim/sim_runner.hpp"
+#include "traffic/splash.hpp"
+#include "traffic/trace_io.hpp"
+
+namespace dxbar {
+namespace {
+
+std::vector<PacketRecord> run_trace(SimConfig cfg,
+                                    std::vector<TraceEntry> entries,
+                                    Cycle max_cycles = 20000) {
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = max_cycles;
+  Network net(cfg);
+  TraceWorkload w(std::move(entries));
+
+  std::vector<PacketRecord> done;
+  class Tap final : public WorkloadModel {
+   public:
+    Tap(TraceWorkload& inner, std::vector<PacketRecord>& out)
+        : inner_(inner), out_(out) {}
+    void begin_cycle(Cycle now, Injector& inject) override {
+      inner_.begin_cycle(now, inject);
+    }
+    void on_packet_delivered(const PacketRecord& rec, Cycle,
+                             Injector&) override {
+      out_.push_back(rec);
+    }
+   private:
+    TraceWorkload& inner_;
+    std::vector<PacketRecord>& out_;
+  } tap(w, done);
+  net.set_workload(&tap);
+
+  for (Cycle t = 0; t < max_cycles; ++t) {
+    net.step();
+    if (w.finished() && net.idle()) break;
+  }
+  EXPECT_TRUE(net.idle());
+  return done;
+}
+
+SimConfig small(RouterDesign d) {
+  SimConfig cfg;
+  cfg.mesh_width = 4;
+  cfg.mesh_height = 4;
+  cfg.design = d;
+  cfg.packet_length = 1;
+  return cfg;
+}
+
+// The 3-stage pipeline: a flit written into the FIFO is not eligible
+// for switch allocation until the next cycle.
+TEST(BufferedRouter, BufferWriteCostsOneCyclePerHop) {
+  const Mesh m(4, 4);
+  const auto done = run_trace(small(RouterDesign::Buffered4),
+                              {{0, m.node(0, 0), m.node(2, 0), 1}});
+  ASSERT_EQ(done.size(), 1u);
+  // Timeline: inject/ST at cycle 0, arrive (1,0) at 2 (2-cycle link
+  // pipeline), buffer-write stage makes it eligible at 3, ST at 3,
+  // arrive (2,0) at 5, eligible 6, eject 6 — i.e. 3 cycles per hop
+  // against DXbar's 2.  Pinned exactly so pipeline regressions are
+  // caught.
+  EXPECT_EQ(done[0].network_latency(), 6u);
+}
+
+TEST(BufferedRouter, CreditsStallInjectionWhenDownstreamFull) {
+  // Saturate one link: a stream from (0,0) to (3,0) at 1 packet/cycle
+  // cannot exceed the link bandwidth; the source queue absorbs the rest
+  // and everything still drains.
+  const Mesh m(4, 4);
+  std::vector<TraceEntry> entries;
+  for (Cycle t = 0; t < 100; ++t) {
+    entries.push_back({t, m.node(0, 0), m.node(3, 0), 1});
+  }
+  const auto done = run_trace(small(RouterDesign::Buffered4), entries);
+  EXPECT_EQ(done.size(), 100u);
+}
+
+TEST(BufferedRouter, Buffered8AcceptsMoreThanBuffered4PastSaturation) {
+  SimConfig cfg;
+  cfg.offered_load = 0.45;
+  cfg.warmup_cycles = 300;
+  cfg.measure_cycles = 1500;
+
+  cfg.design = RouterDesign::Buffered4;
+  const RunStats b4 = run_open_loop(cfg);
+  cfg.design = RouterDesign::Buffered8;
+  const RunStats b8 = run_open_loop(cfg);
+  EXPECT_GT(b8.accepted_load, b4.accepted_load * 1.1);
+}
+
+TEST(BufferedRouter, WestFirstAdaptivityHelpsTranspose) {
+  SimConfig cfg;
+  cfg.design = RouterDesign::Buffered8;
+  cfg.pattern = TrafficPattern::Transpose;
+  cfg.offered_load = 0.4;
+  cfg.warmup_cycles = 300;
+  cfg.measure_cycles = 1500;
+
+  const RunStats dor = run_open_loop(cfg);
+  cfg.routing = RoutingAlgo::WestFirst;
+  const RunStats wf = run_open_loop(cfg);
+  EXPECT_GT(wf.accepted_load, dor.accepted_load);
+}
+
+// Channel: stop combined with per-VC credits.
+TEST(VcChannel, StopBlocksAllVcs) {
+  Channel ch(2, 4);
+  ch.set_stop(true);
+  ch.advance();
+  EXPECT_FALSE(ch.can_send_vc(0));
+  EXPECT_FALSE(ch.can_send_vc(1));
+  ch.set_stop(false);
+  ch.advance();
+  EXPECT_TRUE(ch.can_send_vc(0));
+}
+
+// Splash message mix: data packets (5 flits) must appear once replies
+// start flowing, and the control/data split must look MESI-like.
+TEST(Splash, MessageMixContainsControlAndData) {
+  SimConfig cfg;
+  const Mesh m(8, 8);
+  SplashProfile app = *find_splash_profile("Ocean");
+  app.transactions_per_node = 30;
+  const auto trace = generate_splash_trace(app, cfg, m);
+
+  std::size_t control = 0, data = 0;
+  for (const TraceEntry& e : trace) {
+    if (e.length == 1) {
+      ++control;
+    } else {
+      ++data;
+    }
+  }
+  EXPECT_GT(control, 0u);
+  EXPECT_GT(data, 0u);
+  // Every transaction produces exactly one data reply (less the
+  // self-homed ones) plus 1-3 control messages.
+  EXPECT_GT(control, data / 2);
+  EXPECT_LT(control, data * 4);
+}
+
+TEST(Splash, WriteFractionDrivesInvalidationTraffic) {
+  SimConfig cfg;
+  const Mesh m(8, 8);
+  SplashProfile reads = *find_splash_profile("Raytrace");  // 15% writes
+  SplashProfile writes = *find_splash_profile("Radix");    // 45% writes
+  reads.transactions_per_node = 30;
+  writes.transactions_per_node = 30;
+  // Equalize issue behaviour so only the write mix differs.
+  writes.intensity = reads.intensity;
+  writes.on_to_off = reads.on_to_off;
+  writes.off_to_on = reads.off_to_on;
+
+  const auto a = generate_splash_trace(reads, cfg, m);
+  const auto b = generate_splash_trace(writes, cfg, m);
+  // More writes -> more inval/ack control messages per transaction.
+  const double ctrl_a = static_cast<double>(std::count_if(
+      a.begin(), a.end(), [](const TraceEntry& e) { return e.length == 1; }));
+  const double ctrl_b = static_cast<double>(std::count_if(
+      b.begin(), b.end(), [](const TraceEntry& e) { return e.length == 1; }));
+  EXPECT_GT(ctrl_b / static_cast<double>(b.size()),
+            ctrl_a / static_cast<double>(a.size()));
+}
+
+}  // namespace
+}  // namespace dxbar

@@ -1,0 +1,202 @@
+// Unit tests for common/: types, rng, fixed queue, config, stats.
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "common/fixed_queue.hpp"
+#include "common/flit.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace dxbar {
+namespace {
+
+TEST(Types, OppositeIsInvolution) {
+  for (Direction d : kLinkDirs) {
+    EXPECT_EQ(opposite(opposite(d)), d);
+    EXPECT_NE(opposite(d), d);
+  }
+  EXPECT_EQ(opposite(Direction::Local), Direction::Local);
+}
+
+TEST(Types, PortIndexRoundTrip) {
+  for (int i = 0; i < kNumPorts; ++i) {
+    EXPECT_EQ(port_index(port_from_index(i)), i);
+  }
+}
+
+TEST(Flit, AgeOrderingIsTotalAndDeterministic) {
+  Flit a{.packet = 1, .born_at = 10};
+  Flit b{.packet = 2, .born_at = 5};
+  EXPECT_TRUE(b.older_than(a));
+  EXPECT_FALSE(a.older_than(b));
+
+  Flit c{.packet = 3, .born_at = 10};
+  EXPECT_TRUE(a.older_than(c));  // same age: lower packet id wins
+  EXPECT_FALSE(c.older_than(a));
+  EXPECT_FALSE(a.older_than(a));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42), c(43);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a();
+    EXPECT_EQ(x, b());
+    if (x != c()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, BelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(10), 10u);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(FixedQueue, FifoOrder) {
+  FixedQueue<int> q(3);
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.push(4));  // overflow rejected, nothing lost
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_TRUE(q.push(4));
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.pop(), 4);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FixedQueue, WrapsAroundManyTimes) {
+  FixedQueue<int> q(4);
+  int next_in = 0, next_out = 0;
+  for (int round = 0; round < 100; ++round) {
+    while (!q.full()) q.push(next_in++);
+    while (!q.empty()) EXPECT_EQ(q.pop(), next_out++);
+  }
+  EXPECT_EQ(next_in, next_out);
+}
+
+TEST(FixedQueue, AtIndexesFromHead) {
+  FixedQueue<int> q(4);
+  q.push(10);
+  q.push(11);
+  q.push(12);
+  q.pop();
+  q.push(13);
+  EXPECT_EQ(q.at(0), 11);
+  EXPECT_EQ(q.at(1), 12);
+  EXPECT_EQ(q.at(2), 13);
+}
+
+TEST(Config, DefaultsValid) {
+  SimConfig cfg;
+  EXPECT_EQ(cfg.validate(), "");
+}
+
+TEST(Config, OverridesApply) {
+  SimConfig cfg;
+  EXPECT_EQ(apply_override(cfg, "design=bless"), "");
+  EXPECT_EQ(cfg.design, RouterDesign::FlitBless);
+  EXPECT_EQ(apply_override(cfg, "routing=wf"), "");
+  EXPECT_EQ(cfg.routing, RoutingAlgo::WestFirst);
+  EXPECT_EQ(apply_override(cfg, "load=0.55"), "");
+  EXPECT_DOUBLE_EQ(cfg.offered_load, 0.55);
+  EXPECT_EQ(apply_override(cfg, "pattern=tornado"), "");
+  EXPECT_EQ(cfg.pattern, TrafficPattern::Tornado);
+  EXPECT_EQ(apply_override(cfg, "width=4"), "");
+  EXPECT_EQ(cfg.mesh_width, 4);
+  EXPECT_EQ(apply_override(cfg, "faults=0.5"), "");
+  EXPECT_DOUBLE_EQ(cfg.fault_fraction, 0.5);
+}
+
+TEST(Config, RejectsBadInput) {
+  SimConfig cfg;
+  EXPECT_NE(apply_override(cfg, "nonsense=1"), "");
+  EXPECT_NE(apply_override(cfg, "design=unknown"), "");
+  EXPECT_NE(apply_override(cfg, "load=abc"), "");
+  EXPECT_NE(apply_override(cfg, "noequals"), "");
+}
+
+TEST(Config, ValidateCatchesBadRanges) {
+  SimConfig cfg;
+  cfg.offered_load = 1.5;
+  EXPECT_NE(cfg.validate(), "");
+  cfg = SimConfig{};
+  cfg.mesh_width = 1;
+  EXPECT_NE(cfg.validate(), "");
+  cfg = SimConfig{};
+  cfg.fault_fraction = -0.1;
+  EXPECT_NE(cfg.validate(), "");
+  cfg = SimConfig{};
+  cfg.buffer_depth = 0;
+  EXPECT_NE(cfg.validate(), "");
+}
+
+TEST(Config, ParseDesignNames) {
+  RouterDesign d;
+  EXPECT_TRUE(parse_design("DXbar", d));
+  EXPECT_EQ(d, RouterDesign::DXbar);
+  EXPECT_TRUE(parse_design("buffered8", d));
+  EXPECT_EQ(d, RouterDesign::Buffered8);
+  EXPECT_TRUE(parse_design("unified", d));
+  EXPECT_EQ(d, RouterDesign::UnifiedXbar);
+  EXPECT_TRUE(parse_design("scarab", d));
+  EXPECT_EQ(d, RouterDesign::Scarab);
+  EXPECT_FALSE(parse_design("", d));
+}
+
+TEST(Stats, WindowedThroughputCountsOnlyWindowEjections) {
+  StatsCollector sc(100, 200, 4);
+  Flit f;
+  sc.on_flit_ejected(f, 50);    // before window
+  sc.on_flit_ejected(f, 100);   // in window
+  sc.on_flit_ejected(f, 199);   // in window
+  sc.on_flit_ejected(f, 200);   // after window
+  const RunStats s = sc.summarize(0.5, true);
+  EXPECT_EQ(s.flits_ejected, 2u);
+  // 2 flits / (100 cycles * 4 nodes)
+  EXPECT_DOUBLE_EQ(s.accepted_load, 2.0 / 400.0);
+}
+
+TEST(Stats, LatencyAveragesOnlyWindowPackets) {
+  StatsCollector sc(100, 200, 4);
+  PacketRecord in_window{.id = 1, .length = 1, .created = 150,
+                         .injected = 150, .completed = 170};
+  PacketRecord outside{.id = 2, .length = 1, .created = 50,
+                       .injected = 50, .completed = 90};
+  sc.on_packet_completed(in_window);
+  sc.on_packet_completed(outside);
+  const RunStats s = sc.summarize(0.5, true);
+  EXPECT_EQ(s.packets_completed, 1u);
+  EXPECT_DOUBLE_EQ(s.avg_packet_latency, 20.0);
+}
+
+TEST(Stats, AccumulatorTracksMinMeanMax) {
+  Accumulator a;
+  a.add(1.0);
+  a.add(2.0);
+  a.add(6.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 6.0);
+  EXPECT_EQ(a.count(), 3u);
+}
+
+}  // namespace
+}  // namespace dxbar

@@ -1,0 +1,110 @@
+// Tests for fault/: plan generation, seed stability, detection delay.
+#include <gtest/gtest.h>
+
+#include "fault/fault_model.hpp"
+
+namespace dxbar {
+namespace {
+
+int count_faulty(const FaultPlan& p, int n) {
+  int c = 0;
+  for (NodeId i = 0; i < static_cast<NodeId>(n); ++i) {
+    if (p.at(i).faulty) ++c;
+  }
+  return c;
+}
+
+TEST(FaultPlan, NoneHasNoFaults) {
+  const auto p = FaultPlan::none(64);
+  EXPECT_EQ(count_faulty(p, 64), 0);
+  EXPECT_EQ(p.num_faulty(), 0);
+  for (NodeId i = 0; i < 64; ++i) {
+    EXPECT_FALSE(p.manifest(i, 1000));
+    EXPECT_FALSE(p.detected(i, 1000));
+  }
+}
+
+TEST(FaultPlan, FractionControlsCount) {
+  EXPECT_EQ(count_faulty(FaultPlan(64, 0.25, 1), 64), 16);
+  EXPECT_EQ(count_faulty(FaultPlan(64, 0.50, 1), 64), 32);
+  EXPECT_EQ(count_faulty(FaultPlan(64, 1.00, 1), 64), 64);
+  EXPECT_EQ(count_faulty(FaultPlan(64, 0.30, 1), 64), 20);  // ceil(19.2)
+}
+
+// Paper methodology: "randomly generated at different crossbars with the
+// same random seed but varying percentages" — growing the percentage
+// must extend, not reshuffle, the fault set.
+TEST(FaultPlan, SameSeedFaultSetsAreNested) {
+  const FaultPlan p25(64, 0.25, 7);
+  const FaultPlan p50(64, 0.50, 7);
+  const FaultPlan p75(64, 0.75, 7);
+  for (NodeId i = 0; i < 64; ++i) {
+    if (p25.at(i).faulty) {
+      EXPECT_TRUE(p50.at(i).faulty);
+      // The failed crossbar choice is stable across fractions too.
+      EXPECT_EQ(p25.at(i).failed, p50.at(i).failed);
+    }
+    if (p50.at(i).faulty) {
+      EXPECT_TRUE(p75.at(i).faulty);
+    }
+  }
+}
+
+TEST(FaultPlan, DifferentSeedsDiffer) {
+  const FaultPlan a(64, 0.25, 1);
+  const FaultPlan b(64, 0.25, 2);
+  int differing = 0;
+  for (NodeId i = 0; i < 64; ++i) {
+    if (a.at(i).faulty != b.at(i).faulty) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultPlan, BothCrossbarKindsOccur) {
+  const FaultPlan p(64, 1.0, 3);
+  int primary = 0, secondary = 0;
+  for (NodeId i = 0; i < 64; ++i) {
+    if (p.at(i).failed == CrossbarKind::Primary) {
+      ++primary;
+    } else {
+      ++secondary;
+    }
+  }
+  EXPECT_GT(primary, 10);
+  EXPECT_GT(secondary, 10);
+}
+
+TEST(FaultPlan, DetectionLagsManifestationByDelay) {
+  const FaultPlan p(16, 1.0, 5, /*onset_spread=*/1, /*detect_delay=*/5);
+  for (NodeId i = 0; i < 16; ++i) {
+    ASSERT_TRUE(p.at(i).faulty);
+    EXPECT_TRUE(p.manifest(i, 0));
+    EXPECT_FALSE(p.detected(i, 0));
+    EXPECT_FALSE(p.detected(i, 4));
+    EXPECT_TRUE(p.detected(i, 5));
+  }
+  EXPECT_EQ(p.detect_delay(), 5u);
+}
+
+TEST(FaultPlan, OnsetSpreadStaggersFaults) {
+  const FaultPlan p(64, 1.0, 9, /*onset_spread=*/1000);
+  Cycle min_onset = ~Cycle{0};
+  Cycle max_onset = 0;
+  for (NodeId i = 0; i < 64; ++i) {
+    min_onset = std::min(min_onset, p.at(i).onset);
+    max_onset = std::max(max_onset, p.at(i).onset);
+    EXPECT_LT(p.at(i).onset, 1000u);
+  }
+  EXPECT_LT(min_onset, max_onset);
+}
+
+TEST(FaultPlan, ZeroFractionEdgeCases) {
+  const FaultPlan p(64, 0.0, 1);
+  EXPECT_EQ(p.num_faulty(), 0);
+  // A tiny positive fraction still faults at least one router (ceil).
+  const FaultPlan q(64, 0.001, 1);
+  EXPECT_EQ(q.num_faulty(), 1);
+}
+
+}  // namespace
+}  // namespace dxbar

@@ -1,0 +1,210 @@
+// Tests for the link-fault extension: plan properties, the fault-aware
+// route table, and end-to-end delivery on degraded topologies.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "fault/link_faults.hpp"
+#include "routing/route_table.hpp"
+#include "sim/network.hpp"
+#include "sim/sim_runner.hpp"
+
+namespace dxbar {
+namespace {
+
+// ---- plan ------------------------------------------------------------------
+
+TEST(LinkFaultPlan, NoneKillsNothing) {
+  const Mesh m(8, 8);
+  const auto p = LinkFaultPlan::none(m);
+  EXPECT_EQ(p.num_dead_edges(), 0);
+  EXPECT_FALSE(p.any());
+  for (NodeId n = 0; n < 64; ++n) {
+    for (Direction d : kLinkDirs) EXPECT_TRUE(p.alive(n, d));
+  }
+}
+
+TEST(LinkFaultPlan, KillsBothDirections) {
+  const Mesh m(8, 8);
+  const LinkFaultPlan p(m, 0.2, 7);
+  EXPECT_GT(p.num_dead_edges(), 0);
+  for (NodeId n = 0; n < 64; ++n) {
+    for (Direction d : kLinkDirs) {
+      if (!m.has_link(n, d)) continue;
+      const NodeId nb = *m.neighbor(n, d);
+      EXPECT_EQ(p.alive(n, d), p.alive(nb, opposite(d)))
+          << "edge liveness must be symmetric";
+    }
+  }
+}
+
+TEST(LinkFaultPlan, NeverDisconnects) {
+  const Mesh m(8, 8);
+  // Even an absurd fraction must keep a spanning tree alive.
+  const LinkFaultPlan p(m, 1.0, 3);
+  // BFS over live links reaches every node.
+  std::vector<bool> seen(64, false);
+  std::vector<NodeId> q{0};
+  seen[0] = true;
+  std::size_t head = 0;
+  while (head < q.size()) {
+    const NodeId cur = q[head++];
+    for (Direction d : kLinkDirs) {
+      if (!m.has_link(cur, d) || !p.alive(cur, d)) continue;
+      const NodeId nb = *m.neighbor(cur, d);
+      if (!seen[nb]) {
+        seen[nb] = true;
+        q.push_back(nb);
+      }
+    }
+  }
+  EXPECT_EQ(q.size(), 64u);
+  // A spanning tree needs 63 edges; the mesh has 112 -> at most 49 die.
+  EXPECT_LE(p.num_dead_edges(), 112 - 63);
+  EXPECT_GT(p.num_dead_edges(), 20);
+}
+
+TEST(LinkFaultPlan, MonotoneInFraction) {
+  const Mesh m(8, 8);
+  const LinkFaultPlan p10(m, 0.1, 5);
+  const LinkFaultPlan p30(m, 0.3, 5);
+  for (NodeId n = 0; n < 64; ++n) {
+    for (Direction d : kLinkDirs) {
+      if (!p10.alive(n, d)) {
+        EXPECT_FALSE(p30.alive(n, d));
+      }
+    }
+  }
+  EXPECT_GT(p30.num_dead_edges(), p10.num_dead_edges());
+}
+
+// ---- route table --------------------------------------------------------------
+
+TEST(RouteTable, MatchesManhattanOnHealthyMesh) {
+  const Mesh m(6, 6);
+  const RouteTable table(m, [](NodeId, Direction) { return true; });
+  for (NodeId a = 0; a < 36; ++a) {
+    for (NodeId b = 0; b < 36; ++b) {
+      EXPECT_EQ(table.distance(a, b), m.distance(a, b));
+    }
+  }
+}
+
+TEST(RouteTable, RoutesAroundDeadLink) {
+  const Mesh m(4, 4);
+  // Kill the edge (1,1)->(2,1) in both directions.
+  const NodeId a = m.node(1, 1);
+  const NodeId b = m.node(2, 1);
+  auto alive = [&](NodeId n, Direction d) {
+    if (n == a && d == Direction::East) return false;
+    if (n == b && d == Direction::West) return false;
+    return true;
+  };
+  const RouteTable table(m, alive);
+  // Distance grows by 2 (detour), and the dead direction never appears.
+  EXPECT_EQ(table.distance(a, b), 3);
+  const RouteSet r = table.routes(a, b);
+  EXPECT_FALSE(r.contains(Direction::East));
+  EXPECT_FALSE(r.empty());
+  // Every offered next hop really is one step closer.
+  for (Direction d : r) {
+    const NodeId nb = *m.neighbor(a, d);
+    EXPECT_EQ(table.distance(nb, b), 2);
+  }
+}
+
+TEST(RouteTable, AllRoutesDescendToDestination) {
+  const Mesh m(5, 4);
+  const LinkFaultPlan plan(m, 0.25, 9);
+  const RouteTable table(
+      m, [&](NodeId n, Direction d) { return plan.alive(n, d); });
+  for (NodeId s = 0; s < 20; ++s) {
+    for (NodeId t = 0; t < 20; ++t) {
+      if (s == t) continue;
+      const RouteSet r = table.routes(s, t);
+      ASSERT_FALSE(r.empty());
+      for (Direction d : r) {
+        ASSERT_TRUE(plan.alive(s, d));
+        const NodeId nb = *m.neighbor(s, d);
+        ASSERT_EQ(table.distance(nb, t), table.distance(s, t) - 1);
+      }
+    }
+  }
+}
+
+// ---- end-to-end ------------------------------------------------------------------
+
+class LinkFaultDeliveryTest
+    : public ::testing::TestWithParam<std::tuple<RouterDesign, double>> {};
+
+TEST_P(LinkFaultDeliveryTest, EveryFlitDeliveredOnDegradedMesh) {
+  SimConfig cfg;
+  cfg.design = std::get<0>(GetParam());
+  cfg.link_fault_fraction = std::get<1>(GetParam());
+  cfg.offered_load = 0.15;
+  cfg.packet_length = 2;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 800;
+  cfg.seed = 17;
+
+  Network net(cfg);
+  EXPECT_GT(net.link_faults().num_dead_edges(), 0);
+  const Mesh m(8, 8);
+  SyntheticWorkload w(cfg, m);
+  net.set_workload(&w);
+  for (Cycle t = 0; t < 800; ++t) net.step();
+  w.set_injection_enabled(false);
+  for (Cycle t = 0; t < 120000 && !net.idle(); ++t) net.step();
+  ASSERT_TRUE(net.idle()) << "degraded mesh failed to drain";
+  EXPECT_EQ(net.flits_created(), net.flits_delivered());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignsAndFractions, LinkFaultDeliveryTest,
+    ::testing::Combine(::testing::Values(RouterDesign::DXbar,
+                                         RouterDesign::UnifiedXbar,
+                                         RouterDesign::FlitBless,
+                                         RouterDesign::Scarab,
+                                         RouterDesign::Afc),
+                       ::testing::Values(0.1, 0.3)),
+    [](const auto& info) {
+      std::string name =
+          std::string(to_string(std::get<0>(info.param))) + "_lf" +
+          std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(LinkFaults, CreditOnlyDesignsAreRejected) {
+  // Turn-model deadlock freedom does not survive table routing; designs
+  // without a deflection escape valve must refuse the configuration.
+  SimConfig cfg;
+  cfg.link_fault_fraction = 0.1;
+  for (RouterDesign d : {RouterDesign::Buffered4, RouterDesign::Buffered8,
+                         RouterDesign::BufferedVC}) {
+    cfg.design = d;
+    EXPECT_NE(cfg.validate(), "") << to_string(d);
+  }
+  cfg.design = RouterDesign::DXbar;
+  EXPECT_EQ(cfg.validate(), "");
+}
+
+TEST(LinkFaults, LatencyGrowsWithDeadEdges) {
+  SimConfig cfg;
+  cfg.design = RouterDesign::DXbar;
+  cfg.offered_load = 0.15;
+  cfg.warmup_cycles = 300;
+  cfg.measure_cycles = 1200;
+
+  const RunStats healthy = run_open_loop(cfg);
+  cfg.link_fault_fraction = 0.25;
+  const RunStats degraded = run_open_loop(cfg);
+  EXPECT_GT(degraded.avg_hops, healthy.avg_hops);
+  EXPECT_GT(degraded.avg_packet_latency, healthy.avg_packet_latency);
+  EXPECT_TRUE(degraded.drained);
+}
+
+}  // namespace
+}  // namespace dxbar

@@ -1,0 +1,188 @@
+// Wide parameter-matrix property sweeps: conservation and drain across
+// mesh sizes, seeds, packet lengths, and design/routing combinations —
+// the soak-style coverage a downstream user relies on before trusting a
+// new configuration.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/network.hpp"
+#include "sim/sim_runner.hpp"
+
+namespace dxbar {
+namespace {
+
+bool conserve(SimConfig cfg, Cycle inject_cycles, Cycle drain_cap = 60000) {
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = inject_cycles;
+  Network net(cfg);
+  const Mesh m(cfg.mesh_width, cfg.mesh_height);
+  SyntheticWorkload w(cfg, m);
+  net.set_workload(&w);
+  for (Cycle t = 0; t < inject_cycles; ++t) net.step();
+  w.set_injection_enabled(false);
+  for (Cycle t = 0; t < drain_cap && !net.idle(); ++t) net.step();
+  if (!net.idle()) {
+    ADD_FAILURE() << "failed to drain";
+    return false;
+  }
+  EXPECT_EQ(net.flits_created(), net.flits_delivered());
+  EXPECT_EQ(net.packets_created(), net.packets_delivered());
+  return net.flits_created() == net.flits_delivered();
+}
+
+// ---- mesh-size matrix -----------------------------------------------------
+
+class MeshMatrixTest
+    : public ::testing::TestWithParam<std::tuple<int, int, RouterDesign>> {};
+
+TEST_P(MeshMatrixTest, ConservesOnEveryMeshShape) {
+  SimConfig cfg;
+  cfg.mesh_width = std::get<0>(GetParam());
+  cfg.mesh_height = std::get<1>(GetParam());
+  cfg.design = std::get<2>(GetParam());
+  cfg.offered_load = 0.2;
+  cfg.packet_length = 2;
+  cfg.seed = 42;
+  EXPECT_TRUE(conserve(cfg, 600));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MeshMatrixTest,
+    ::testing::Combine(::testing::Values(2, 4, 5, 8),
+                       ::testing::Values(2, 3, 8),
+                       ::testing::Values(RouterDesign::DXbar,
+                                         RouterDesign::UnifiedXbar,
+                                         RouterDesign::FlitBless,
+                                         RouterDesign::Afc)),
+    [](const auto& info) {
+      std::string name = std::to_string(std::get<0>(info.param)) + "x" +
+                         std::to_string(std::get<1>(info.param)) + "_" +
+                         std::string(to_string(std::get<2>(info.param)));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ---- seed matrix ------------------------------------------------------------
+
+class SeedMatrixTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedMatrixTest, DXbarConservesUnderHighLoadAnySeed) {
+  SimConfig cfg;
+  cfg.design = RouterDesign::DXbar;
+  cfg.offered_load = 0.6;  // well past saturation
+  cfg.seed = GetParam();
+  EXPECT_TRUE(conserve(cfg, 800, 120000));
+}
+
+TEST_P(SeedMatrixTest, ScarabConservesUnderHighLoadAnySeed) {
+  SimConfig cfg;
+  cfg.design = RouterDesign::Scarab;
+  cfg.offered_load = 0.5;
+  cfg.seed = GetParam();
+  EXPECT_TRUE(conserve(cfg, 800, 120000));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedMatrixTest,
+                         ::testing::Values(1, 2, 3, 1234, 0xDEADBEEF),
+                         [](const auto& info) {
+                           return "s" + std::to_string(info.index);
+                         });
+
+// ---- packet-length matrix ----------------------------------------------------
+
+class PacketLengthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PacketLengthTest, AllLengthsReassemble) {
+  SimConfig cfg;
+  cfg.design = RouterDesign::DXbar;
+  cfg.packet_length = GetParam();
+  cfg.offered_load = 0.25;
+  EXPECT_TRUE(conserve(cfg, 600));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, PacketLengthTest,
+                         ::testing::Values(1, 2, 5, 9),
+                         [](const auto& info) {
+                           return "len" + std::to_string(info.param);
+                         });
+
+// ---- buffer-depth x design matrix ---------------------------------------------
+
+class DepthMatrixTest
+    : public ::testing::TestWithParam<std::tuple<int, RouterDesign>> {};
+
+TEST_P(DepthMatrixTest, DepthVariantsConserve) {
+  SimConfig cfg;
+  cfg.buffer_depth = std::get<0>(GetParam());
+  cfg.design = std::get<1>(GetParam());
+  cfg.num_vcs = 1;  // keep VC divisibility for any depth
+  cfg.offered_load = 0.3;
+  EXPECT_TRUE(conserve(cfg, 600));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Depths, DepthMatrixTest,
+    ::testing::Combine(::testing::Values(1, 2, 8),
+                       ::testing::Values(RouterDesign::DXbar,
+                                         RouterDesign::Buffered4,
+                                         RouterDesign::BufferedVC)),
+    [](const auto& info) {
+      std::string name = "d" + std::to_string(std::get<0>(info.param)) + "_" +
+                         std::string(to_string(std::get<1>(info.param)));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ---- soak -----------------------------------------------------------------
+
+TEST(Soak, MixedLoadRampNeverLosesAFlit) {
+  // Ramp the load up and down over a long run; verify conservation and
+  // that the network drains at the end.
+  SimConfig cfg;
+  cfg.design = RouterDesign::DXbar;
+  cfg.routing = RoutingAlgo::WestFirst;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 100000;
+
+  Network net(cfg);
+  const Mesh m(8, 8);
+
+  // Hand-rolled workload with a time-varying load.
+  class Ramp final : public WorkloadModel {
+   public:
+    explicit Ramp(const Mesh& mesh) : mesh_(mesh), rng_(7) {}
+    void begin_cycle(Cycle now, Injector& inject) override {
+      if (!enabled_) return;
+      // Load oscillates between 0.05 and 0.65 with period 1000.
+      const double phase = static_cast<double>(now % 1000) / 1000.0;
+      const double load = 0.05 + 0.6 * (phase < 0.5 ? phase * 2 : (1 - phase) * 2);
+      for (NodeId src = 0; src < 64; ++src) {
+        if (!rng_.bernoulli(load / 3.0)) continue;
+        NodeId dst = rng_.below(64);
+        if (dst == src) continue;
+        inject.inject_packet(src, dst, 3, now);
+      }
+    }
+    void set_injection_enabled(bool on) override { enabled_ = on; }
+   private:
+    const Mesh& mesh_;
+    Rng rng_;
+    bool enabled_ = true;
+  } ramp(m);
+
+  net.set_workload(&ramp);
+  for (Cycle t = 0; t < 6000; ++t) net.step();
+  ramp.set_injection_enabled(false);
+  for (Cycle t = 0; t < 120000 && !net.idle(); ++t) net.step();
+  ASSERT_TRUE(net.idle());
+  EXPECT_EQ(net.flits_created(), net.flits_delivered());
+  EXPECT_GT(net.packets_delivered(), 10000u);
+}
+
+}  // namespace
+}  // namespace dxbar

@@ -1,0 +1,109 @@
+// Tests for power/: Table III constants, the area relations the paper
+// states in prose, and energy-meter accounting identities.
+#include <gtest/gtest.h>
+
+#include "power/energy_model.hpp"
+
+namespace dxbar {
+namespace {
+
+TEST(EnergyParams, PaperConstants) {
+  const EnergyParams dx = energy_params(RouterDesign::DXbar);
+  EXPECT_DOUBLE_EQ(dx.crossbar_pj, 13.0);  // paper: 13 pJ/flit
+  EXPECT_DOUBLE_EQ(dx.link_pj, 36.0);      // paper: 36 pJ per flit traversal
+
+  const EnergyParams uni = energy_params(RouterDesign::UnifiedXbar);
+  EXPECT_DOUBLE_EQ(uni.crossbar_pj, 15.0);  // transmission gates: 15 pJ
+
+  const EnergyParams b8 = energy_params(RouterDesign::Buffered8);
+  const EnergyParams b4 = energy_params(RouterDesign::Buffered4);
+  EXPECT_GT(b8.buffer_write_pj, b4.buffer_write_pj);
+  EXPECT_GT(b8.buffer_read_pj, b4.buffer_read_pj);
+}
+
+TEST(Area, PaperRelationsHold) {
+  const double bless = router_area_mm2(RouterDesign::FlitBless);
+  const double scarab = router_area_mm2(RouterDesign::Scarab);
+  const double b4 = router_area_mm2(RouterDesign::Buffered4);
+  const double b8 = router_area_mm2(RouterDesign::Buffered8);
+  const double dx = router_area_mm2(RouterDesign::DXbar);
+  const double uni = router_area_mm2(RouterDesign::UnifiedXbar);
+
+  // "DXbar occupies 33% more area than Flit-Bless ... the unified
+  //  crossbar design occupies 25% more."
+  EXPECT_NEAR(dx / bless, 1.33, 0.02);
+  EXPECT_NEAR(uni / bless, 1.25, 0.02);
+
+  // "DXbar occupies more area than buffered 4 ... less than buffered 8
+  //  because the buffers have a larger area than the crossbar."
+  EXPECT_GT(dx, b4);
+  EXPECT_LT(dx, b8);
+
+  // "The unified crossbar design occupies less area than DXbar."
+  EXPECT_LT(uni, dx);
+
+  // SCARAB adds only the NACK circuit over Flit-Bless.
+  EXPECT_GT(scarab, bless);
+  EXPECT_LT(scarab - bless, 0.01);
+
+  const AreaParams p;
+  EXPECT_GT(p.buffer_bank_mm2, p.crossbar_mm2);
+}
+
+TEST(Timing, UnderOneNanosecondClock) {
+  const TimingParams t;
+  EXPECT_LT(t.link_traversal_ns, 1.0);   // paper: 0.47 ns
+  EXPECT_LT(t.unified_switch_ns, 1.0);   // paper: 0.27 ns
+  EXPECT_DOUBLE_EQ(t.link_traversal_ns, 0.47);
+  EXPECT_DOUBLE_EQ(t.unified_switch_ns, 0.27);
+}
+
+TEST(EnergyMeter, AccountingIdentity) {
+  EnergyMeter m(RouterDesign::DXbar);
+  m.crossbar_traversal();
+  m.crossbar_traversal();
+  m.link_traversal();
+  m.buffer_write();
+  m.buffer_read();
+  m.nack_hops(4);
+
+  const EnergyParams p = energy_params(RouterDesign::DXbar);
+  EXPECT_DOUBLE_EQ(m.crossbar_nj(), 2 * p.crossbar_pj * 1e-3);
+  EXPECT_DOUBLE_EQ(m.link_nj(), p.link_pj * 1e-3);
+  EXPECT_DOUBLE_EQ(m.buffer_nj(),
+                   (p.buffer_write_pj + p.buffer_read_pj) * 1e-3);
+  EXPECT_DOUBLE_EQ(m.control_nj(), 4 * p.nack_hop_pj * 1e-3);
+  EXPECT_DOUBLE_EQ(
+      m.total_nj(),
+      m.crossbar_nj() + m.link_nj() + m.buffer_nj() + m.control_nj());
+}
+
+TEST(EnergyMeter, DisabledRecordsNothing) {
+  EnergyMeter m(RouterDesign::DXbar);
+  m.set_enabled(false);
+  m.crossbar_traversal();
+  m.link_traversal();
+  m.buffer_write();
+  EXPECT_DOUBLE_EQ(m.total_nj(), 0.0);
+  m.set_enabled(true);
+  m.link_traversal();
+  EXPECT_GT(m.total_nj(), 0.0);
+}
+
+TEST(EnergyMeter, ResetClears) {
+  EnergyMeter m(RouterDesign::Buffered4);
+  m.buffer_write();
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.total_nj(), 0.0);
+}
+
+TEST(EnergyMeter, UnifiedChargesGateOverhead) {
+  EnergyMeter dx(RouterDesign::DXbar);
+  EnergyMeter uni(RouterDesign::UnifiedXbar);
+  dx.crossbar_traversal();
+  uni.crossbar_traversal();
+  EXPECT_GT(uni.crossbar_nj(), dx.crossbar_nj());
+}
+
+}  // namespace
+}  // namespace dxbar

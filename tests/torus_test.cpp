@@ -1,0 +1,149 @@
+// Tests for the torus extension: wrap-around geometry, shortest-way
+// routing, conservation, and the mesh-vs-torus performance relations.
+#include <gtest/gtest.h>
+
+#include "routing/dor.hpp"
+#include "routing/routing_algorithm.hpp"
+#include "sim/network.hpp"
+#include "sim/sim_runner.hpp"
+
+namespace dxbar {
+namespace {
+
+TEST(Torus, NeighborsWrapAround) {
+  const Mesh t(8, 8, /*wrap=*/true);
+  EXPECT_EQ(t.neighbor(t.node(7, 3), Direction::East), t.node(0, 3));
+  EXPECT_EQ(t.neighbor(t.node(0, 3), Direction::West), t.node(7, 3));
+  EXPECT_EQ(t.neighbor(t.node(3, 7), Direction::North), t.node(3, 0));
+  EXPECT_EQ(t.neighbor(t.node(3, 0), Direction::South), t.node(3, 7));
+  // Every router has full degree.
+  for (NodeId n = 0; n < 64; ++n) {
+    for (Direction d : kLinkDirs) {
+      EXPECT_TRUE(t.has_link(n, d));
+    }
+  }
+  EXPECT_EQ(t.all_links().size(), std::size_t{64 * 4});
+}
+
+TEST(Torus, DistanceTakesTheShortWayAround) {
+  const Mesh t(8, 8, true);
+  EXPECT_EQ(t.distance(t.node(0, 0), t.node(7, 0)), 1);  // wrap west
+  EXPECT_EQ(t.distance(t.node(0, 0), t.node(4, 0)), 4);  // tie
+  EXPECT_EQ(t.distance(t.node(1, 1), t.node(6, 6)), 3 + 3);
+  EXPECT_EQ(t.distance(t.node(0, 0), t.node(7, 7)), 2);
+  // Mesh distances unchanged.
+  const Mesh m(8, 8);
+  EXPECT_EQ(m.distance(m.node(0, 0), m.node(7, 7)), 14);
+}
+
+TEST(Torus, OffsetsSignedShortest) {
+  const Mesh t(8, 8, true);
+  EXPECT_EQ(t.offset_x(t.node(0, 0), t.node(7, 0)), -1);
+  EXPECT_EQ(t.offset_x(t.node(7, 0), t.node(0, 0)), 1);
+  EXPECT_EQ(t.offset_x(t.node(0, 0), t.node(4, 0)), 4);  // tie -> east
+  EXPECT_EQ(t.offset_y(t.node(0, 7), t.node(0, 1)), 2);
+}
+
+TEST(Torus, DorRoutesTheShortWay) {
+  const Mesh t(8, 8, true);
+  EXPECT_EQ(dor_route(t, t.node(0, 0), t.node(7, 0)), Direction::West);
+  EXPECT_EQ(dor_route(t, t.node(0, 0), t.node(0, 7)), Direction::South);
+  EXPECT_EQ(dor_route(t, t.node(0, 0), t.node(2, 0)), Direction::East);
+}
+
+TEST(Torus, DorAlwaysMinimalAndTerminates) {
+  const Mesh t(6, 6, true);
+  for (NodeId s = 0; s < 36; ++s) {
+    for (NodeId d = 0; d < 36; ++d) {
+      NodeId cur = s;
+      int hops = 0;
+      while (cur != d) {
+        const Direction dir = dor_route(t, cur, d);
+        ASSERT_NE(dir, Direction::Local);
+        cur = *t.neighbor(cur, dir);
+        ++hops;
+        ASSERT_LE(hops, t.distance(s, d));
+      }
+      EXPECT_EQ(hops, t.distance(s, d));
+    }
+  }
+}
+
+TEST(Torus, TurnModelsDegradeToMinimalAdaptive) {
+  const Mesh t(8, 8, true);
+  // WF on a torus must offer the wrap-west route (forbidden on a mesh
+  // turn model, irrelevant here since it degenerates to minimal).
+  const RouteSet r =
+      compute_routes(RoutingAlgo::WestFirst, t, t.node(0, 0), t.node(7, 7));
+  EXPECT_TRUE(r.contains(Direction::West));
+  EXPECT_TRUE(r.contains(Direction::South));
+}
+
+TEST(Torus, CreditOnlyDesignsRejected) {
+  SimConfig cfg;
+  cfg.torus = true;
+  for (RouterDesign d : {RouterDesign::Buffered4, RouterDesign::Buffered8,
+                         RouterDesign::BufferedVC}) {
+    cfg.design = d;
+    EXPECT_NE(cfg.validate(), "") << to_string(d);
+  }
+  cfg.design = RouterDesign::DXbar;
+  EXPECT_EQ(cfg.validate(), "");
+}
+
+class TorusConservationTest : public ::testing::TestWithParam<RouterDesign> {
+};
+
+TEST_P(TorusConservationTest, ConservesAndDrains) {
+  SimConfig cfg;
+  cfg.torus = true;
+  cfg.design = GetParam();
+  cfg.offered_load = 0.3;
+  cfg.packet_length = 2;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 800;
+
+  Network net(cfg);
+  const Mesh t(8, 8, true);
+  SyntheticWorkload w(cfg, t);
+  net.set_workload(&w);
+  for (Cycle c = 0; c < 800; ++c) net.step();
+  w.set_injection_enabled(false);
+  for (Cycle c = 0; c < 60000 && !net.idle(); ++c) net.step();
+  ASSERT_TRUE(net.idle());
+  EXPECT_EQ(net.flits_created(), net.flits_delivered());
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, TorusConservationTest,
+                         ::testing::Values(RouterDesign::DXbar,
+                                           RouterDesign::UnifiedXbar,
+                                           RouterDesign::FlitBless,
+                                           RouterDesign::Scarab,
+                                           RouterDesign::Afc),
+                         [](const auto& info) {
+                           std::string n(to_string(info.param));
+                           for (char& c : n) {
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Torus, HigherThroughputAndFewerHopsThanMesh) {
+  SimConfig cfg;
+  cfg.design = RouterDesign::DXbar;
+  cfg.offered_load = 0.45;
+  cfg.warmup_cycles = 300;
+  cfg.measure_cycles = 1500;
+
+  const RunStats mesh = run_open_loop(cfg);
+  cfg.torus = true;
+  const RunStats torus = run_open_loop(cfg);
+
+  // Wrap links double the bisection and cut the average distance.
+  EXPECT_LT(torus.avg_hops, mesh.avg_hops * 0.85);
+  EXPECT_GT(torus.accepted_load, mesh.accepted_load * 1.1);
+}
+
+}  // namespace
+}  // namespace dxbar

@@ -1,0 +1,156 @@
+// Property tests for the extension turn models (negative-first,
+// north-last): minimality, termination, turn legality along every
+// adaptive choice, and end-to-end conservation.
+#include <gtest/gtest.h>
+
+#include "routing/routing_algorithm.hpp"
+#include "routing/turn_models.hpp"
+#include "sim/sim_runner.hpp"
+
+namespace dxbar {
+namespace {
+
+struct Model {
+  const char* name;
+  RouteSet (*routes)(const Mesh&, NodeId, NodeId);
+  bool (*legal)(Direction, Direction);
+};
+
+const Model kModels[] = {
+    {"negative-first", nf_routes, nf_turn_legal},
+    {"north-last", nl_routes, nl_turn_legal},
+};
+
+TEST(TurnModels, MinimalLegalAndTerminating) {
+  const Mesh m(5, 5);
+  for (const Model& model : kModels) {
+    for (NodeId s = 0; s < static_cast<NodeId>(m.num_nodes()); ++s) {
+      for (NodeId d = 0; d < static_cast<NodeId>(m.num_nodes()); ++d) {
+        if (s == d) continue;
+        struct State {
+          NodeId at;
+          Direction came;
+        };
+        std::vector<State> stack{{s, Direction::Local}};
+        int guard = 0;
+        while (!stack.empty() && ++guard < 2000) {
+          const State st = stack.back();
+          stack.pop_back();
+          if (st.at == d) continue;
+          const RouteSet routes = model.routes(m, st.at, d);
+          ASSERT_FALSE(routes.empty()) << model.name;
+          for (Direction dir : routes) {
+            ASSERT_NE(dir, Direction::Local) << model.name;
+            if (st.came != Direction::Local) {
+              ASSERT_TRUE(model.legal(st.came, dir))
+                  << model.name << ": " << to_string(st.came) << "->"
+                  << to_string(dir);
+            }
+            const auto next = m.neighbor(st.at, dir);
+            ASSERT_TRUE(next.has_value()) << model.name;
+            ASSERT_LT(m.distance(*next, d), m.distance(st.at, d))
+                << model.name;
+            stack.push_back({*next, dir});
+          }
+        }
+        ASSERT_LT(guard, 2000) << model.name << " runaway";
+      }
+    }
+  }
+}
+
+TEST(TurnModels, NegativeFirstKnownCases) {
+  const Mesh m(8, 8);
+  // Needs west and north: west (negative) must come first.
+  const RouteSet r = nf_routes(m, m.node(5, 2), m.node(2, 6));
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], Direction::West);
+  // Needs west and south: adaptive among both negatives.
+  const RouteSet r2 = nf_routes(m, m.node(5, 6), m.node(2, 2));
+  EXPECT_EQ(r2.size(), 2u);
+  EXPECT_TRUE(r2.contains(Direction::West));
+  EXPECT_TRUE(r2.contains(Direction::South));
+  // Only positives remain: adaptive among them.
+  const RouteSet r3 = nf_routes(m, m.node(2, 2), m.node(5, 6));
+  EXPECT_EQ(r3.size(), 2u);
+  EXPECT_TRUE(r3.contains(Direction::East));
+  EXPECT_TRUE(r3.contains(Direction::North));
+}
+
+TEST(TurnModels, NorthLastKnownCases) {
+  const Mesh m(8, 8);
+  // Needs east and north: east first (north is last).
+  const RouteSet r = nl_routes(m, m.node(2, 2), m.node(5, 6));
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], Direction::East);
+  // Needs east and south: adaptive.
+  const RouteSet r2 = nl_routes(m, m.node(2, 6), m.node(5, 2));
+  EXPECT_EQ(r2.size(), 2u);
+  EXPECT_TRUE(r2.contains(Direction::East));
+  EXPECT_TRUE(r2.contains(Direction::South));
+  // Only north remains.
+  const RouteSet r3 = nl_routes(m, m.node(5, 2), m.node(5, 6));
+  ASSERT_EQ(r3.size(), 1u);
+  EXPECT_EQ(r3[0], Direction::North);
+}
+
+TEST(TurnModels, DispatchThroughComputeRoutes) {
+  const Mesh m(8, 8);
+  EXPECT_EQ(compute_routes(RoutingAlgo::NegativeFirst, m, m.node(5, 6),
+                           m.node(2, 2))
+                .size(),
+            2u);
+  EXPECT_EQ(compute_routes(RoutingAlgo::NorthLast, m, m.node(5, 2),
+                           m.node(5, 6))[0],
+            Direction::North);
+}
+
+TEST(TurnModels, ParseNames) {
+  RoutingAlgo a;
+  EXPECT_TRUE(parse_routing("nf", a));
+  EXPECT_EQ(a, RoutingAlgo::NegativeFirst);
+  EXPECT_TRUE(parse_routing("north-last", a));
+  EXPECT_EQ(a, RoutingAlgo::NorthLast);
+}
+
+class TurnModelConservationTest
+    : public ::testing::TestWithParam<RoutingAlgo> {};
+
+TEST_P(TurnModelConservationTest, DXbarConservesAndDrains) {
+  SimConfig cfg;
+  cfg.design = RouterDesign::DXbar;
+  cfg.routing = GetParam();
+  cfg.offered_load = 0.35;
+  cfg.warmup_cycles = 300;
+  cfg.measure_cycles = 1200;
+  const RunStats s = run_open_loop(cfg);
+  EXPECT_TRUE(s.drained) << to_string(GetParam());
+  EXPECT_GT(s.accepted_load, 0.3) << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, TurnModelConservationTest,
+                         ::testing::Values(RoutingAlgo::NegativeFirst,
+                                           RoutingAlgo::NorthLast),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(DetailedRun, ExposesWindowPackets) {
+  SimConfig cfg;
+  cfg.design = RouterDesign::DXbar;
+  cfg.offered_load = 0.2;
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 800;
+  const DetailedRun run = run_open_loop_detailed(cfg);
+  EXPECT_EQ(run.packets.size(), run.stats.packets_completed);
+  ASSERT_FALSE(run.packets.empty());
+  for (const PacketRecord& p : run.packets) {
+    EXPECT_GE(p.created, cfg.warmup_cycles);
+    EXPECT_LT(p.created, cfg.warmup_cycles + cfg.measure_cycles);
+    EXPECT_GE(p.completed, p.injected);
+    EXPECT_GE(p.injected, p.created);
+  }
+}
+
+}  // namespace
+}  // namespace dxbar
