@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fairness_threshold.dir/ablation_fairness_threshold.cpp.o"
+  "CMakeFiles/ablation_fairness_threshold.dir/ablation_fairness_threshold.cpp.o.d"
+  "ablation_fairness_threshold"
+  "ablation_fairness_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fairness_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

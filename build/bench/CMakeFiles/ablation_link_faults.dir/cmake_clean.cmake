@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_link_faults.dir/ablation_link_faults.cpp.o"
+  "CMakeFiles/ablation_link_faults.dir/ablation_link_faults.cpp.o.d"
+  "ablation_link_faults"
+  "ablation_link_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_link_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mesh_scaling.dir/ablation_mesh_scaling.cpp.o"
+  "CMakeFiles/ablation_mesh_scaling.dir/ablation_mesh_scaling.cpp.o.d"
+  "ablation_mesh_scaling"
+  "ablation_mesh_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mesh_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

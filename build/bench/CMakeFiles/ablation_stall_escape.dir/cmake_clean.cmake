@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stall_escape.dir/ablation_stall_escape.cpp.o"
+  "CMakeFiles/ablation_stall_escape.dir/ablation_stall_escape.cpp.o.d"
+  "ablation_stall_escape"
+  "ablation_stall_escape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stall_escape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_unified_vs_dual.dir/ablation_unified_vs_dual.cpp.o"
+  "CMakeFiles/ablation_unified_vs_dual.dir/ablation_unified_vs_dual.cpp.o.d"
+  "ablation_unified_vs_dual"
+  "ablation_unified_vs_dual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_unified_vs_dual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

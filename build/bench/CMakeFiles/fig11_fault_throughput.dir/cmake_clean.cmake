@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_fault_throughput.dir/fig11_fault_throughput.cpp.o"
+  "CMakeFiles/fig11_fault_throughput.dir/fig11_fault_throughput.cpp.o.d"
+  "fig11_fault_throughput"
+  "fig11_fault_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_fault_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

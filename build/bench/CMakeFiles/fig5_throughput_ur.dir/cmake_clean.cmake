@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_throughput_ur.dir/fig5_throughput_ur.cpp.o"
+  "CMakeFiles/fig5_throughput_ur.dir/fig5_throughput_ur.cpp.o.d"
+  "fig5_throughput_ur"
+  "fig5_throughput_ur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_throughput_ur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

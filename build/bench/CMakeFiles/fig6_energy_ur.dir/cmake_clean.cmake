@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_energy_ur.dir/fig6_energy_ur.cpp.o"
+  "CMakeFiles/fig6_energy_ur.dir/fig6_energy_ur.cpp.o.d"
+  "fig6_energy_ur"
+  "fig6_energy_ur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_energy_ur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

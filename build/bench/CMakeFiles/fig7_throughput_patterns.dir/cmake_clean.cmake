@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_throughput_patterns.dir/fig7_throughput_patterns.cpp.o"
+  "CMakeFiles/fig7_throughput_patterns.dir/fig7_throughput_patterns.cpp.o.d"
+  "fig7_throughput_patterns"
+  "fig7_throughput_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_throughput_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_energy_patterns.dir/fig8_energy_patterns.cpp.o"
+  "CMakeFiles/fig8_energy_patterns.dir/fig8_energy_patterns.cpp.o.d"
+  "fig8_energy_patterns"
+  "fig8_energy_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_energy_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

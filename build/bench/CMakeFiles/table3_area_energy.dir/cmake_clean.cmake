@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_area_energy.dir/table3_area_energy.cpp.o"
+  "CMakeFiles/table3_area_energy.dir/table3_area_energy.cpp.o.d"
+  "table3_area_energy"
+  "table3_area_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_area_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossbar_utilization.dir/crossbar_utilization.cpp.o"
+  "CMakeFiles/crossbar_utilization.dir/crossbar_utilization.cpp.o.d"
+  "crossbar_utilization"
+  "crossbar_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossbar_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

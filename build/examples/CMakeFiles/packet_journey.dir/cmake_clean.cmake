@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_journey.dir/packet_journey.cpp.o"
+  "CMakeFiles/packet_journey.dir/packet_journey.cpp.o.d"
+  "packet_journey"
+  "packet_journey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_journey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/splash_traces.cpp" "examples/CMakeFiles/splash_traces.dir/splash_traces.cpp.o" "gcc" "examples/CMakeFiles/splash_traces.dir/splash_traces.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dxbar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dxbar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dxbar_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dxbar_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dxbar_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dxbar_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dxbar_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dxbar_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dxbar_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dxbar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

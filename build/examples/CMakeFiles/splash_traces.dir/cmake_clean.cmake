@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splash_traces.dir/splash_traces.cpp.o"
+  "CMakeFiles/splash_traces.dir/splash_traces.cpp.o.d"
+  "splash_traces"
+  "splash_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splash_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

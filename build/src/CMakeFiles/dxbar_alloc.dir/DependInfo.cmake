@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/arbiter.cpp" "src/CMakeFiles/dxbar_alloc.dir/alloc/arbiter.cpp.o" "gcc" "src/CMakeFiles/dxbar_alloc.dir/alloc/arbiter.cpp.o.d"
+  "/root/repo/src/alloc/fairness.cpp" "src/CMakeFiles/dxbar_alloc.dir/alloc/fairness.cpp.o" "gcc" "src/CMakeFiles/dxbar_alloc.dir/alloc/fairness.cpp.o.d"
+  "/root/repo/src/alloc/separable_allocator.cpp" "src/CMakeFiles/dxbar_alloc.dir/alloc/separable_allocator.cpp.o" "gcc" "src/CMakeFiles/dxbar_alloc.dir/alloc/separable_allocator.cpp.o.d"
+  "/root/repo/src/alloc/unified_allocator.cpp" "src/CMakeFiles/dxbar_alloc.dir/alloc/unified_allocator.cpp.o" "gcc" "src/CMakeFiles/dxbar_alloc.dir/alloc/unified_allocator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dxbar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/CMakeFiles/dxbar_alloc.dir/alloc/fairness.cpp.o: \
+ /root/repo/src/alloc/fairness.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/alloc/fairness.hpp

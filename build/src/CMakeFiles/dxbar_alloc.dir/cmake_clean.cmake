@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dxbar_alloc.dir/alloc/arbiter.cpp.o"
+  "CMakeFiles/dxbar_alloc.dir/alloc/arbiter.cpp.o.d"
+  "CMakeFiles/dxbar_alloc.dir/alloc/fairness.cpp.o"
+  "CMakeFiles/dxbar_alloc.dir/alloc/fairness.cpp.o.d"
+  "CMakeFiles/dxbar_alloc.dir/alloc/separable_allocator.cpp.o"
+  "CMakeFiles/dxbar_alloc.dir/alloc/separable_allocator.cpp.o.d"
+  "CMakeFiles/dxbar_alloc.dir/alloc/unified_allocator.cpp.o"
+  "CMakeFiles/dxbar_alloc.dir/alloc/unified_allocator.cpp.o.d"
+  "libdxbar_alloc.a"
+  "libdxbar_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dxbar_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dxbar_common.dir/common/config.cpp.o"
+  "CMakeFiles/dxbar_common.dir/common/config.cpp.o.d"
+  "CMakeFiles/dxbar_common.dir/common/stats.cpp.o"
+  "CMakeFiles/dxbar_common.dir/common/stats.cpp.o.d"
+  "libdxbar_common.a"
+  "libdxbar_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dxbar_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dxbar_core.dir/core/dxbar.cpp.o"
+  "CMakeFiles/dxbar_core.dir/core/dxbar.cpp.o.d"
+  "libdxbar_core.a"
+  "libdxbar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dxbar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

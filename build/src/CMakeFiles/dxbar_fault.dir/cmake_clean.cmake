@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dxbar_fault.dir/fault/fault_model.cpp.o"
+  "CMakeFiles/dxbar_fault.dir/fault/fault_model.cpp.o.d"
+  "CMakeFiles/dxbar_fault.dir/fault/link_faults.cpp.o"
+  "CMakeFiles/dxbar_fault.dir/fault/link_faults.cpp.o.d"
+  "libdxbar_fault.a"
+  "libdxbar_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dxbar_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dxbar_power.dir/power/energy_model.cpp.o"
+  "CMakeFiles/dxbar_power.dir/power/energy_model.cpp.o.d"
+  "libdxbar_power.a"
+  "libdxbar_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dxbar_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/router/afc_router.cpp" "src/CMakeFiles/dxbar_router.dir/router/afc_router.cpp.o" "gcc" "src/CMakeFiles/dxbar_router.dir/router/afc_router.cpp.o.d"
+  "/root/repo/src/router/bless_router.cpp" "src/CMakeFiles/dxbar_router.dir/router/bless_router.cpp.o" "gcc" "src/CMakeFiles/dxbar_router.dir/router/bless_router.cpp.o.d"
+  "/root/repo/src/router/buffered_router.cpp" "src/CMakeFiles/dxbar_router.dir/router/buffered_router.cpp.o" "gcc" "src/CMakeFiles/dxbar_router.dir/router/buffered_router.cpp.o.d"
+  "/root/repo/src/router/dxbar_router.cpp" "src/CMakeFiles/dxbar_router.dir/router/dxbar_router.cpp.o" "gcc" "src/CMakeFiles/dxbar_router.dir/router/dxbar_router.cpp.o.d"
+  "/root/repo/src/router/factory.cpp" "src/CMakeFiles/dxbar_router.dir/router/factory.cpp.o" "gcc" "src/CMakeFiles/dxbar_router.dir/router/factory.cpp.o.d"
+  "/root/repo/src/router/router.cpp" "src/CMakeFiles/dxbar_router.dir/router/router.cpp.o" "gcc" "src/CMakeFiles/dxbar_router.dir/router/router.cpp.o.d"
+  "/root/repo/src/router/scarab_router.cpp" "src/CMakeFiles/dxbar_router.dir/router/scarab_router.cpp.o" "gcc" "src/CMakeFiles/dxbar_router.dir/router/scarab_router.cpp.o.d"
+  "/root/repo/src/router/unified_router.cpp" "src/CMakeFiles/dxbar_router.dir/router/unified_router.cpp.o" "gcc" "src/CMakeFiles/dxbar_router.dir/router/unified_router.cpp.o.d"
+  "/root/repo/src/router/vc_router.cpp" "src/CMakeFiles/dxbar_router.dir/router/vc_router.cpp.o" "gcc" "src/CMakeFiles/dxbar_router.dir/router/vc_router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dxbar_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dxbar_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dxbar_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dxbar_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dxbar_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dxbar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

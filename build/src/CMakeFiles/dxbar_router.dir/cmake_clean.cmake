@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dxbar_router.dir/router/afc_router.cpp.o"
+  "CMakeFiles/dxbar_router.dir/router/afc_router.cpp.o.d"
+  "CMakeFiles/dxbar_router.dir/router/bless_router.cpp.o"
+  "CMakeFiles/dxbar_router.dir/router/bless_router.cpp.o.d"
+  "CMakeFiles/dxbar_router.dir/router/buffered_router.cpp.o"
+  "CMakeFiles/dxbar_router.dir/router/buffered_router.cpp.o.d"
+  "CMakeFiles/dxbar_router.dir/router/dxbar_router.cpp.o"
+  "CMakeFiles/dxbar_router.dir/router/dxbar_router.cpp.o.d"
+  "CMakeFiles/dxbar_router.dir/router/factory.cpp.o"
+  "CMakeFiles/dxbar_router.dir/router/factory.cpp.o.d"
+  "CMakeFiles/dxbar_router.dir/router/router.cpp.o"
+  "CMakeFiles/dxbar_router.dir/router/router.cpp.o.d"
+  "CMakeFiles/dxbar_router.dir/router/scarab_router.cpp.o"
+  "CMakeFiles/dxbar_router.dir/router/scarab_router.cpp.o.d"
+  "CMakeFiles/dxbar_router.dir/router/unified_router.cpp.o"
+  "CMakeFiles/dxbar_router.dir/router/unified_router.cpp.o.d"
+  "CMakeFiles/dxbar_router.dir/router/vc_router.cpp.o"
+  "CMakeFiles/dxbar_router.dir/router/vc_router.cpp.o.d"
+  "libdxbar_router.a"
+  "libdxbar_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dxbar_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

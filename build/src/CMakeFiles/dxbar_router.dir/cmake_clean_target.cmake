@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdxbar_router.a"
+)

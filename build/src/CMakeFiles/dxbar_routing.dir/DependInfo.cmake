@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/deflect.cpp" "src/CMakeFiles/dxbar_routing.dir/routing/deflect.cpp.o" "gcc" "src/CMakeFiles/dxbar_routing.dir/routing/deflect.cpp.o.d"
+  "/root/repo/src/routing/dor.cpp" "src/CMakeFiles/dxbar_routing.dir/routing/dor.cpp.o" "gcc" "src/CMakeFiles/dxbar_routing.dir/routing/dor.cpp.o.d"
+  "/root/repo/src/routing/route_table.cpp" "src/CMakeFiles/dxbar_routing.dir/routing/route_table.cpp.o" "gcc" "src/CMakeFiles/dxbar_routing.dir/routing/route_table.cpp.o.d"
+  "/root/repo/src/routing/routing_algorithm.cpp" "src/CMakeFiles/dxbar_routing.dir/routing/routing_algorithm.cpp.o" "gcc" "src/CMakeFiles/dxbar_routing.dir/routing/routing_algorithm.cpp.o.d"
+  "/root/repo/src/routing/turn_models.cpp" "src/CMakeFiles/dxbar_routing.dir/routing/turn_models.cpp.o" "gcc" "src/CMakeFiles/dxbar_routing.dir/routing/turn_models.cpp.o.d"
+  "/root/repo/src/routing/west_first.cpp" "src/CMakeFiles/dxbar_routing.dir/routing/west_first.cpp.o" "gcc" "src/CMakeFiles/dxbar_routing.dir/routing/west_first.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dxbar_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dxbar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dxbar_routing.dir/routing/deflect.cpp.o"
+  "CMakeFiles/dxbar_routing.dir/routing/deflect.cpp.o.d"
+  "CMakeFiles/dxbar_routing.dir/routing/dor.cpp.o"
+  "CMakeFiles/dxbar_routing.dir/routing/dor.cpp.o.d"
+  "CMakeFiles/dxbar_routing.dir/routing/route_table.cpp.o"
+  "CMakeFiles/dxbar_routing.dir/routing/route_table.cpp.o.d"
+  "CMakeFiles/dxbar_routing.dir/routing/routing_algorithm.cpp.o"
+  "CMakeFiles/dxbar_routing.dir/routing/routing_algorithm.cpp.o.d"
+  "CMakeFiles/dxbar_routing.dir/routing/turn_models.cpp.o"
+  "CMakeFiles/dxbar_routing.dir/routing/turn_models.cpp.o.d"
+  "CMakeFiles/dxbar_routing.dir/routing/west_first.cpp.o"
+  "CMakeFiles/dxbar_routing.dir/routing/west_first.cpp.o.d"
+  "libdxbar_routing.a"
+  "libdxbar_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dxbar_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dxbar_sim.dir/sim/nack_network.cpp.o"
+  "CMakeFiles/dxbar_sim.dir/sim/nack_network.cpp.o.d"
+  "CMakeFiles/dxbar_sim.dir/sim/network.cpp.o"
+  "CMakeFiles/dxbar_sim.dir/sim/network.cpp.o.d"
+  "CMakeFiles/dxbar_sim.dir/sim/sim_runner.cpp.o"
+  "CMakeFiles/dxbar_sim.dir/sim/sim_runner.cpp.o.d"
+  "CMakeFiles/dxbar_sim.dir/sim/sweep.cpp.o"
+  "CMakeFiles/dxbar_sim.dir/sim/sweep.cpp.o.d"
+  "libdxbar_sim.a"
+  "libdxbar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dxbar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

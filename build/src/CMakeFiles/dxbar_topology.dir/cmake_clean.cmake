@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dxbar_topology.dir/topology/channel.cpp.o"
+  "CMakeFiles/dxbar_topology.dir/topology/channel.cpp.o.d"
+  "CMakeFiles/dxbar_topology.dir/topology/mesh.cpp.o"
+  "CMakeFiles/dxbar_topology.dir/topology/mesh.cpp.o.d"
+  "libdxbar_topology.a"
+  "libdxbar_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dxbar_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

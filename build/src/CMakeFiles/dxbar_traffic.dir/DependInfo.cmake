@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/patterns.cpp" "src/CMakeFiles/dxbar_traffic.dir/traffic/patterns.cpp.o" "gcc" "src/CMakeFiles/dxbar_traffic.dir/traffic/patterns.cpp.o.d"
+  "/root/repo/src/traffic/splash.cpp" "src/CMakeFiles/dxbar_traffic.dir/traffic/splash.cpp.o" "gcc" "src/CMakeFiles/dxbar_traffic.dir/traffic/splash.cpp.o.d"
+  "/root/repo/src/traffic/trace_io.cpp" "src/CMakeFiles/dxbar_traffic.dir/traffic/trace_io.cpp.o" "gcc" "src/CMakeFiles/dxbar_traffic.dir/traffic/trace_io.cpp.o.d"
+  "/root/repo/src/traffic/traffic_gen.cpp" "src/CMakeFiles/dxbar_traffic.dir/traffic/traffic_gen.cpp.o" "gcc" "src/CMakeFiles/dxbar_traffic.dir/traffic/traffic_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dxbar_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dxbar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dxbar_traffic.dir/traffic/patterns.cpp.o"
+  "CMakeFiles/dxbar_traffic.dir/traffic/patterns.cpp.o.d"
+  "CMakeFiles/dxbar_traffic.dir/traffic/splash.cpp.o"
+  "CMakeFiles/dxbar_traffic.dir/traffic/splash.cpp.o.d"
+  "CMakeFiles/dxbar_traffic.dir/traffic/trace_io.cpp.o"
+  "CMakeFiles/dxbar_traffic.dir/traffic/trace_io.cpp.o.d"
+  "CMakeFiles/dxbar_traffic.dir/traffic/traffic_gen.cpp.o"
+  "CMakeFiles/dxbar_traffic.dir/traffic/traffic_gen.cpp.o.d"
+  "libdxbar_traffic.a"
+  "libdxbar_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dxbar_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/alloc_test.cpp" "tests/CMakeFiles/dxbar_tests.dir/alloc_test.cpp.o" "gcc" "tests/CMakeFiles/dxbar_tests.dir/alloc_test.cpp.o.d"
+  "/root/repo/tests/buffered_router_test.cpp" "tests/CMakeFiles/dxbar_tests.dir/buffered_router_test.cpp.o" "gcc" "tests/CMakeFiles/dxbar_tests.dir/buffered_router_test.cpp.o.d"
+  "/root/repo/tests/chaos_test.cpp" "tests/CMakeFiles/dxbar_tests.dir/chaos_test.cpp.o" "gcc" "tests/CMakeFiles/dxbar_tests.dir/chaos_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/dxbar_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/dxbar_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/extension_test.cpp" "tests/CMakeFiles/dxbar_tests.dir/extension_test.cpp.o" "gcc" "tests/CMakeFiles/dxbar_tests.dir/extension_test.cpp.o.d"
+  "/root/repo/tests/fault_test.cpp" "tests/CMakeFiles/dxbar_tests.dir/fault_test.cpp.o" "gcc" "tests/CMakeFiles/dxbar_tests.dir/fault_test.cpp.o.d"
+  "/root/repo/tests/invariant_test.cpp" "tests/CMakeFiles/dxbar_tests.dir/invariant_test.cpp.o" "gcc" "tests/CMakeFiles/dxbar_tests.dir/invariant_test.cpp.o.d"
+  "/root/repo/tests/link_fault_test.cpp" "tests/CMakeFiles/dxbar_tests.dir/link_fault_test.cpp.o" "gcc" "tests/CMakeFiles/dxbar_tests.dir/link_fault_test.cpp.o.d"
+  "/root/repo/tests/matrix_test.cpp" "tests/CMakeFiles/dxbar_tests.dir/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/dxbar_tests.dir/matrix_test.cpp.o.d"
+  "/root/repo/tests/network_test.cpp" "tests/CMakeFiles/dxbar_tests.dir/network_test.cpp.o" "gcc" "tests/CMakeFiles/dxbar_tests.dir/network_test.cpp.o.d"
+  "/root/repo/tests/observability_test.cpp" "tests/CMakeFiles/dxbar_tests.dir/observability_test.cpp.o" "gcc" "tests/CMakeFiles/dxbar_tests.dir/observability_test.cpp.o.d"
+  "/root/repo/tests/power_test.cpp" "tests/CMakeFiles/dxbar_tests.dir/power_test.cpp.o" "gcc" "tests/CMakeFiles/dxbar_tests.dir/power_test.cpp.o.d"
+  "/root/repo/tests/reproduction_test.cpp" "tests/CMakeFiles/dxbar_tests.dir/reproduction_test.cpp.o" "gcc" "tests/CMakeFiles/dxbar_tests.dir/reproduction_test.cpp.o.d"
+  "/root/repo/tests/router_test.cpp" "tests/CMakeFiles/dxbar_tests.dir/router_test.cpp.o" "gcc" "tests/CMakeFiles/dxbar_tests.dir/router_test.cpp.o.d"
+  "/root/repo/tests/routing_test.cpp" "tests/CMakeFiles/dxbar_tests.dir/routing_test.cpp.o" "gcc" "tests/CMakeFiles/dxbar_tests.dir/routing_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/dxbar_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/dxbar_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/topology_test.cpp" "tests/CMakeFiles/dxbar_tests.dir/topology_test.cpp.o" "gcc" "tests/CMakeFiles/dxbar_tests.dir/topology_test.cpp.o.d"
+  "/root/repo/tests/torus_test.cpp" "tests/CMakeFiles/dxbar_tests.dir/torus_test.cpp.o" "gcc" "tests/CMakeFiles/dxbar_tests.dir/torus_test.cpp.o.d"
+  "/root/repo/tests/traffic_test.cpp" "tests/CMakeFiles/dxbar_tests.dir/traffic_test.cpp.o" "gcc" "tests/CMakeFiles/dxbar_tests.dir/traffic_test.cpp.o.d"
+  "/root/repo/tests/turn_model_test.cpp" "tests/CMakeFiles/dxbar_tests.dir/turn_model_test.cpp.o" "gcc" "tests/CMakeFiles/dxbar_tests.dir/turn_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dxbar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dxbar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dxbar_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dxbar_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dxbar_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dxbar_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dxbar_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dxbar_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dxbar_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dxbar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
