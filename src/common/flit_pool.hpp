@@ -1,0 +1,153 @@
+// Per-network flit arena: an index-based slab pool plus an intrusive
+// FIFO over it.
+//
+// Source queues and SCARAB staging previously lived in std::deque, so
+// every injection burst touched the global allocator on the hot path.
+// The pool recycles fixed slots through a freelist: after a short
+// ramp-up (or an up-front reserve) the steady state performs no heap
+// traffic at all, and `live()` gives tests an exact leak check — a
+// drained network must report zero live flits.
+//
+// Indices are 32-bit and stable across pool growth (the backing vector
+// may reallocate, so *references* returned by at() are invalidated by
+// the next acquire; hold indices, not references).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/flit.hpp"
+
+namespace dxbar {
+
+class FlitPool {
+ public:
+  using Index = std::uint32_t;
+  static constexpr Index kNil = ~Index{0};
+
+  FlitPool() = default;
+
+  /// Pre-sizes the slab so steady-state traffic never allocates.
+  void reserve(std::size_t n) { nodes_.reserve(n); }
+
+  /// Copies `f` into a recycled (or fresh) slot and returns its index.
+  Index acquire(const Flit& f) {
+    Index idx;
+    if (free_head_ != kNil) {
+      idx = free_head_;
+      free_head_ = nodes_[idx].next;
+    } else {
+      idx = static_cast<Index>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    nodes_[idx].flit = f;
+    nodes_[idx].next = kNil;
+    ++live_;
+    return idx;
+  }
+
+  /// Returns a slot to the freelist.  The flit value becomes garbage.
+  void release(Index idx) {
+    assert(idx < nodes_.size());
+    assert(live_ > 0);
+    nodes_[idx].next = free_head_;
+    free_head_ = idx;
+    --live_;
+  }
+
+  [[nodiscard]] Flit& at(Index idx) {
+    assert(idx < nodes_.size());
+    return nodes_[idx].flit;
+  }
+  [[nodiscard]] const Flit& at(Index idx) const {
+    assert(idx < nodes_.size());
+    return nodes_[idx].flit;
+  }
+
+  [[nodiscard]] Index next(Index idx) const {
+    assert(idx < nodes_.size());
+    return nodes_[idx].next;
+  }
+  void set_next(Index idx, Index n) {
+    assert(idx < nodes_.size());
+    nodes_[idx].next = n;
+  }
+
+  /// Flits currently acquired and not yet released ("live allocations").
+  [[nodiscard]] std::size_t live() const noexcept { return live_; }
+  /// Total slots ever created (high-water mark of concurrent flits).
+  [[nodiscard]] std::size_t capacity() const noexcept { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Flit flit;
+    Index next = kNil;
+  };
+  std::vector<Node> nodes_;
+  Index free_head_ = kNil;
+  std::size_t live_ = 0;
+};
+
+/// FIFO of pooled flits with O(1) push_back / push_front / pop_front —
+/// the operation set the injection queues need.  Intrusively linked
+/// through the pool, so the queue itself is three words and never
+/// allocates.
+class PooledFlitDeque {
+ public:
+  /// Wires the backing pool; the queue must be empty when re-attached.
+  void attach_pool(FlitPool* pool) noexcept {
+    assert(size_ == 0);
+    pool_ = pool;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  [[nodiscard]] const Flit& front() const {
+    assert(!empty());
+    return pool_->at(head_);
+  }
+  [[nodiscard]] Flit& front() {
+    assert(!empty());
+    return pool_->at(head_);
+  }
+
+  void push_back(const Flit& f) {
+    const FlitPool::Index idx = pool_->acquire(f);
+    if (tail_ == FlitPool::kNil) {
+      head_ = tail_ = idx;
+    } else {
+      pool_->set_next(tail_, idx);
+      tail_ = idx;
+    }
+    ++size_;
+  }
+
+  void push_front(const Flit& f) {
+    const FlitPool::Index idx = pool_->acquire(f);
+    pool_->set_next(idx, head_);
+    head_ = idx;
+    if (tail_ == FlitPool::kNil) tail_ = idx;
+    ++size_;
+  }
+
+  Flit pop_front() {
+    assert(!empty());
+    const FlitPool::Index idx = head_;
+    const Flit f = pool_->at(idx);
+    head_ = pool_->next(idx);
+    if (head_ == FlitPool::kNil) tail_ = FlitPool::kNil;
+    pool_->release(idx);
+    --size_;
+    return f;
+  }
+
+ private:
+  FlitPool* pool_ = nullptr;
+  FlitPool::Index head_ = FlitPool::kNil;
+  FlitPool::Index tail_ = FlitPool::kNil;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dxbar

@@ -8,17 +8,20 @@
 namespace dxbar {
 namespace {
 
-/// An arbitration candidate: where the flit currently sits.
+/// An arbitration candidate: where the flit currently sits.  Holds a
+/// pointer into the input register / FIFO head / injection front —
+/// all stable for the duration of one router step — so building and
+/// sorting candidate sets never copies Flit payloads.
 struct Candidate {
   enum class Kind { Incoming, BufferHead, Injection };
   Kind kind;
   int dir;  ///< input link index for Incoming/BufferHead; unused otherwise
-  Flit flit;
+  const Flit* flit;
 };
 
 void sort_by_age(SmallVec<Candidate, kNumPorts>& v) {
   insertion_sort(v, [](const Candidate& a, const Candidate& b) {
-    return a.flit.older_than(b.flit);
+    return a.flit->older_than(*b.flit);
   });
 }
 
@@ -52,11 +55,20 @@ std::optional<Direction> DXbarRouter::pick_output(const Flit& f,
 }
 
 void DXbarRouter::divert_to_buffer(Direction from, const Flit& f) {
-  const bool ok = buffers_[port_index(from)].push(f);
+  const std::size_t i = static_cast<std::size_t>(port_index(from));
+  const bool ok = buffers_[i].push(f);
   assert(ok && "divert_to_buffer requires a free slot");
   (void)ok;
+  ++buffered_count_;
   env_.energy->buffer_write();
   ++buffered_diversions_;
+  // On/off flow control, maintained on full/non-full transitions: tell
+  // the upstream neighbour to pause while this FIFO is full.  The
+  // one-cycle signal delay means up to two in-flight flits can still
+  // land on a full FIFO; deflect() covers that race.
+  if (buffers_[i].full() && env_.in_links[i] != nullptr) {
+    env_.in_links[i]->set_stop(true);
+  }
 }
 
 void DXbarRouter::deflect(Flit f, AllocState& st, bool via_primary) {
@@ -86,10 +98,7 @@ void DXbarRouter::deflect(Flit f, AllocState& st, bool via_primary) {
 }
 
 bool DXbarRouter::any_waiting() const {
-  for (const auto& b : buffers_) {
-    if (!b.empty()) return true;
-  }
-  return source != nullptr && !source->empty();
+  return buffered_count_ != 0 || (source != nullptr && !source->empty());
 }
 
 bool DXbarRouter::serve_waiting(AllocState& st, bool via_primary) {
@@ -97,11 +106,11 @@ bool DXbarRouter::serve_waiting(AllocState& st, bool via_primary) {
   for (int d = 0; d < kNumLinkDirs; ++d) {
     if (!buffers_[static_cast<std::size_t>(d)].empty()) {
       waiting.push_back({Candidate::Kind::BufferHead, d,
-                         buffers_[static_cast<std::size_t>(d)].front()});
+                         &buffers_[static_cast<std::size_t>(d)].front()});
     }
   }
   if (source != nullptr && !source->empty()) {
-    waiting.push_back({Candidate::Kind::Injection, -1, source->front()});
+    waiting.push_back({Candidate::Kind::Injection, -1, &source->front()});
   }
   if (waiting.empty()) return false;
   sort_by_age(waiting);
@@ -113,7 +122,8 @@ bool DXbarRouter::serve_waiting(AllocState& st, bool via_primary) {
     int& wait = c.kind == Candidate::Kind::BufferHead
                     ? head_wait_[static_cast<std::size_t>(c.dir)]
                     : injection_wait_;
-    const auto out = pick_output(c.flit, st, wait >= env_.cfg->stall_escape_delay);
+    const auto out =
+        pick_output(*c.flit, st, wait >= env_.cfg->stall_escape_delay);
     if (!out) {
       ++wait;
       continue;
@@ -121,7 +131,7 @@ bool DXbarRouter::serve_waiting(AllocState& st, bool via_primary) {
     wait = 0;
     Flit f;
     if (c.kind == Candidate::Kind::BufferHead) {
-      f = buffers_[static_cast<std::size_t>(c.dir)].pop();
+      f = pop_buffer(static_cast<std::size_t>(c.dir));
       env_.energy->buffer_read();
     } else {
       // pop_front stamps the injection cycle; use the stamped flit.
@@ -153,10 +163,11 @@ void DXbarRouter::step_normal(Cycle now, bool secondary_usable) {
   SmallVec<Candidate, kNumPorts> must_win;
   SmallVec<Candidate, kNumPorts> incoming;
   for (int d = 0; d < kNumLinkDirs; ++d) {
-    auto& arrival = in[static_cast<std::size_t>(d)];
+    const auto& arrival = in[static_cast<std::size_t>(d)];
     if (!arrival.has_value()) continue;
-    Candidate c{Candidate::Kind::Incoming, d, *arrival};
-    arrival.reset();
+    // Input registers are cleared in one sweep at the end of the step,
+    // after every candidate referencing them has been consumed.
+    Candidate c{Candidate::Kind::Incoming, d, &*arrival};
     if (buffers_[static_cast<std::size_t>(d)].full()) {
       must_win.push_back(c);
     } else {
@@ -172,43 +183,49 @@ void DXbarRouter::step_normal(Cycle now, bool secondary_usable) {
   bool incoming_won = false;
 
   for (const Candidate& c : must_win) {
-    if (const auto out = pick_output(c.flit, st, /*ignore_stop=*/true)) {
+    if (const auto out = pick_output(*c.flit, st, /*ignore_stop=*/true)) {
       env_.energy->crossbar_traversal();
       ++primary_traversals_;
       incoming_won = true;
       if (*out == Direction::Local) {
-        eject(c.flit);
+        eject(*c.flit);
       } else {
-        send_link(*out, c.flit);
+        send_link(*out, *c.flit);
       }
     } else {
-      deflect(c.flit, st, /*via_primary=*/true);
+      deflect(*c.flit, st, /*via_primary=*/true);
     }
   }
 
   // Fairness flip: buffered/injection flits are allocated output ports
   // ahead of the (bufferable) incoming flits this cycle.
-  if (flipped && secondary_usable) {
+  if (flipped && secondary_usable && waiting_exists) {
     waiting_won = serve_waiting(st, /*via_primary=*/false);
   }
 
   for (const Candidate& c : incoming) {
-    const auto out = pick_output(c.flit, st);
+    const auto out = pick_output(*c.flit, st);
     if (out) {
       env_.energy->crossbar_traversal();
       ++primary_traversals_;
       if (*out == Direction::Local) {
-        eject(c.flit);
+        eject(*c.flit);
       } else {
-        send_link(*out, c.flit);
+        send_link(*out, *c.flit);
       }
       incoming_won = true;
     } else {
-      divert_to_buffer(port_from_index(c.dir), c.flit);
+      divert_to_buffer(port_from_index(c.dir), *c.flit);
     }
   }
+  for (int d = 0; d < kNumLinkDirs; ++d) {
+    in[static_cast<std::size_t>(d)].reset();
+  }
 
-  if (!flipped && secondary_usable) {
+  // Re-probe instead of reusing waiting_exists: the incoming loop above
+  // may have just diverted a loser into a FIFO, and that head may still
+  // depart through the secondary crossbar in the same cycle (Fig. 3(d)).
+  if (!flipped && secondary_usable && any_waiting()) {
     waiting_won = serve_waiting(st, /*via_primary=*/false);
   }
 
@@ -224,26 +241,29 @@ void DXbarRouter::step_buffered_only(Cycle now) {
   //    bypass around the full FIFO) or deflect through it.
   SmallVec<Candidate, kNumPorts> must_win;
   for (int d = 0; d < kNumLinkDirs; ++d) {
-    auto& arrival = in[static_cast<std::size_t>(d)];
+    const auto& arrival = in[static_cast<std::size_t>(d)];
     if (!arrival.has_value()) continue;
     if (buffers_[static_cast<std::size_t>(d)].full()) {
-      must_win.push_back({Candidate::Kind::Incoming, d, *arrival});
-      arrival.reset();
+      must_win.push_back({Candidate::Kind::Incoming, d, &*arrival});
     }
   }
   sort_by_age(must_win);
   for (const Candidate& c : must_win) {
-    if (const auto out = pick_output(c.flit, st, /*ignore_stop=*/true)) {
+    if (const auto out = pick_output(*c.flit, st, /*ignore_stop=*/true)) {
       env_.energy->crossbar_traversal();
       ++secondary_traversals_;
       if (*out == Direction::Local) {
-        eject(c.flit);
+        eject(*c.flit);
       } else {
-        send_link(*out, c.flit);
+        send_link(*out, *c.flit);
       }
     } else {
-      deflect(c.flit, st, /*via_primary=*/false);
+      deflect(*c.flit, st, /*via_primary=*/false);
     }
+  }
+  // Clear the must-win arrivals before step 3 demuxes the rest.
+  for (const Candidate& c : must_win) {
+    in[static_cast<std::size_t>(c.dir)].reset();
   }
 
   // 2. FIFO heads and injection drain through the secondary crossbar.
@@ -277,14 +297,15 @@ void DXbarRouter::step_primary_only(Cycle now) {
     const auto& buf = buffers_[static_cast<std::size_t>(d)];
     const bool have_buf = !buf.empty();
     if (arrival.has_value() && (!prefer_buffer || !have_buf || buf.full())) {
-      line.push_back({Candidate::Kind::Incoming, d, *arrival});
-      arrival.reset();
+      // Cleared in the sweep after the line loop, once consumed.
+      line.push_back({Candidate::Kind::Incoming, d, &*arrival});
       line_used[static_cast<std::size_t>(d)] = true;
     } else if (have_buf) {
-      line.push_back({Candidate::Kind::BufferHead, d, buf.front()});
+      line.push_back({Candidate::Kind::BufferHead, d, &buf.front()});
       line_used[static_cast<std::size_t>(d)] = true;
       // A displaced arrival joins the FIFO behind the head (the FIFO is
-      // known non-full here).
+      // known non-full here; FixedQueue pushes never move the head slot,
+      // so the BufferHead pointer stays valid).
       if (arrival.has_value()) {
         divert_to_buffer(port_from_index(d), *arrival);
         arrival.reset();
@@ -300,11 +321,11 @@ void DXbarRouter::step_primary_only(Cycle now) {
     const bool escalate =
         is_head &&
         head_wait_[static_cast<std::size_t>(c.dir)] >= env_.cfg->stall_escape_delay;
-    const auto out = pick_output(c.flit, st, escalate);
+    const auto out = pick_output(*c.flit, st, escalate);
     if (out) {
-      Flit f = c.flit;
+      Flit f = *c.flit;
       if (is_head) {
-        f = buffers_[static_cast<std::size_t>(c.dir)].pop();
+        f = pop_buffer(static_cast<std::size_t>(c.dir));
         env_.energy->buffer_read();
         head_wait_[static_cast<std::size_t>(c.dir)] = 0;
         waiting_won = true;
@@ -320,12 +341,17 @@ void DXbarRouter::step_primary_only(Cycle now) {
       }
     } else if (c.kind == Candidate::Kind::Incoming) {
       if (!buffers_[static_cast<std::size_t>(c.dir)].full()) {
-        divert_to_buffer(port_from_index(c.dir), c.flit);
+        divert_to_buffer(port_from_index(c.dir), *c.flit);
       } else {
-        deflect(c.flit, st, /*via_primary=*/true);
+        deflect(*c.flit, st, /*via_primary=*/true);
       }
     } else {
       ++head_wait_[static_cast<std::size_t>(c.dir)];
+    }
+  }
+  for (const Candidate& c : line) {
+    if (c.kind == Candidate::Kind::Incoming) {
+      in[static_cast<std::size_t>(c.dir)].reset();
     }
   }
 
@@ -352,24 +378,40 @@ void DXbarRouter::step_primary_only(Cycle now) {
   fairness_.record(waiting_exists, waiting_won, incoming_won);
 }
 
-void DXbarRouter::update_backpressure() {
-  // On/off flow control: tell each upstream neighbour to pause while our
-  // FIFO for that input is full.  The one-cycle signal delay means up to
-  // two in-flight flits can still land on a full FIFO; deflect() covers
-  // that race.
-  for (int d = 0; d < kNumLinkDirs; ++d) {
-    Channel* ch = env_.in_links[static_cast<std::size_t>(d)];
-    if (ch != nullptr) {
-      ch->set_stop(buffers_[static_cast<std::size_t>(d)].full());
-    }
+Flit DXbarRouter::pop_buffer(std::size_t dir) {
+  FixedQueue<Flit>& buf = buffers_[dir];
+  const bool was_full = buf.full();
+  Flit f = buf.pop();
+  --buffered_count_;
+  // Counterpart of the transition in divert_to_buffer: a pop from a full
+  // FIFO frees a slot, so release the upstream stop signal.  Channel's
+  // set_stop latches only the final value of a cycle, so intra-cycle
+  // assert/release pairs net out exactly like the old end-of-step scan.
+  if (was_full && env_.in_links[dir] != nullptr) {
+    env_.in_links[dir]->set_stop(false);
   }
+  return f;
 }
 
 void DXbarRouter::step(Cycle now) {
+  // Flit-free fast path: with no arrival registers occupied, no buffered
+  // flits, and nothing to inject, every operating mode is a no-op —
+  // candidate sets come out empty, fairness_.record(waiting=false, ...)
+  // does not change state, and the stop signals were already deasserted
+  // by the step that drained the last buffered flit (a full FIFO implies
+  // buffered_count_ > 0, so stop can never be pending while idle).
+  if (buffered_count_ == 0 && (source == nullptr || source->empty()) &&
+      !in[0].has_value() && !in[1].has_value() && !in[2].has_value() &&
+      !in[3].has_value()) {
+    return;
+  }
+
+  // On/off backpressure needs no per-step pass here: stop signals are
+  // maintained on FIFO full/non-full transitions inside pop_buffer and
+  // divert_to_buffer.
   const RouterFault& fault = env_.faults->at(id_);
   if (!fault.faulty || !env_.faults->manifest(id_, now)) {
     step_normal(now, /*secondary_usable=*/true);
-    update_backpressure();
     return;
   }
 
@@ -378,7 +420,6 @@ void DXbarRouter::step(Cycle now) {
     // the FIFOs whether or not BIST has fired yet; the secondary keeps
     // the router alive as a plain buffered router.
     step_buffered_only(now);
-    update_backpressure();
     return;
   }
 
@@ -391,13 +432,8 @@ void DXbarRouter::step(Cycle now) {
   } else {
     step_normal(now, /*secondary_usable=*/false);
   }
-  update_backpressure();
 }
 
-int DXbarRouter::occupancy() const {
-  int n = 0;
-  for (const auto& b : buffers_) n += static_cast<int>(b.size());
-  return n;
-}
+int DXbarRouter::occupancy() const { return buffered_count_; }
 
 }  // namespace dxbar

@@ -101,18 +101,23 @@ class DXbarRouter final : public Router {
   bool serve_waiting(AllocState& st, bool via_primary);
 
   /// Divert an incoming flit into its input FIFO (buffer-write energy).
+  /// Asserts the upstream stop signal when this fills the FIFO.
   void divert_to_buffer(Direction from, const Flit& f);
+
+  /// Pop the head of input FIFO `dir`, releasing the upstream stop
+  /// signal when the FIFO was full.  Keeps buffered_count_ in sync.
+  Flit pop_buffer(std::size_t dir);
 
   /// Bufferless escape: route a losing flit whose FIFO is full to the
   /// best free link port (counts a deflection when non-productive).
   void deflect(Flit f, AllocState& st, bool via_primary);
 
-  /// Assert on/off stop signals to upstream neighbours for full FIFOs.
-  void update_backpressure();
-
   [[nodiscard]] bool any_waiting() const;
 
   std::array<FixedQueue<Flit>, kNumLinkDirs> buffers_;
+  /// Total flits across buffers_, maintained on push/pop so the
+  /// per-cycle idle check and occupancy() never scan the FIFOs.
+  int buffered_count_ = 0;
   FairnessCounter fairness_;
   /// Consecutive cycles each FIFO head (and the injection front) has
   /// been denied a port; at cfg.stall_escape_delay it overrides stop signals.

@@ -12,16 +12,17 @@
 #pragma once
 
 #include <array>
-#include <deque>
 #include <optional>
 
 #include "common/config.hpp"
 #include "common/flit.hpp"
+#include "common/flit_pool.hpp"
 #include "common/small_vec.hpp"
 #include "common/stats.hpp"
 #include "fault/fault_model.hpp"
 #include "power/energy_model.hpp"
 #include "routing/deflect.hpp"
+#include "routing/route_cache.hpp"
 #include "routing/route_table.hpp"
 #include "routing/routing_algorithm.hpp"
 #include "topology/channel.hpp"
@@ -36,10 +37,13 @@ namespace dxbar {
 /// statistics collector; retransmissions keep their original timestamp.
 class InjectionQueue {
  public:
-  /// Wired once by the network before simulation starts.
-  void attach(const Cycle* clock, StatsCollector* stats) noexcept {
+  /// Wired once by the network before simulation starts; `pool` backs
+  /// the queued flits so injection never hits the global allocator.
+  void attach(const Cycle* clock, StatsCollector* stats,
+              FlitPool* pool) noexcept {
     clock_ = clock;
     stats_ = stats;
+    q_.attach_pool(pool);
   }
 
   [[nodiscard]] bool empty() const noexcept { return q_.empty(); }
@@ -47,8 +51,7 @@ class InjectionQueue {
   [[nodiscard]] const Flit& front() const { return q_.front(); }
 
   Flit pop_front() {
-    Flit f = q_.front();
-    q_.pop_front();
+    Flit f = q_.pop_front();
     if (f.injected_at == kNotInjected && clock_ != nullptr) {
       f.injected_at = *clock_;
       if (stats_ != nullptr) stats_->on_flit_injected(f, *clock_);
@@ -56,12 +59,12 @@ class InjectionQueue {
     return f;
   }
 
-  void push_back(Flit f) { q_.push_back(f); }
+  void push_back(const Flit& f) { q_.push_back(f); }
   /// Retransmissions re-enter at the front so age order is preserved.
-  void push_front(Flit f) { q_.push_front(f); }
+  void push_front(const Flit& f) { q_.push_front(f); }
 
  private:
-  std::deque<Flit> q_;
+  PooledFlitDeque q_;
   const Cycle* clock_ = nullptr;
   StatsCollector* stats_ = nullptr;
 };
@@ -83,6 +86,9 @@ struct RouterEnv {
   /// Fault-aware routing table; non-null when link faults degrade the
   /// topology (see routing/route_table.hpp).
   const RouteTable* route_table = nullptr;
+  /// Precomputed route sets for the healthy topology; non-null when the
+  /// network built one (mutually exclusive with route_table).
+  const RouteCache* route_cache = nullptr;
   /// nullptr at mesh edges AND for dead links (link faults).
   std::array<Channel*, kNumLinkDirs> out_links{};
   std::array<Channel*, kNumLinkDirs> in_links{};
@@ -136,10 +142,11 @@ class Router {
   /// Push a flit onto the outgoing link: bumps the hop count and charges
   /// link energy.  The crossbar-traversal energy is charged by the caller
   /// because which crossbar was used differs per design.
-  void send_link(Direction d, Flit f) {
-    ++f.hops;
+  void send_link(Direction d, const Flit& f) {
     env_.energy->link_traversal();
-    env_.out_links[port_index(d)]->send(f);
+    Channel& ch = *env_.out_links[port_index(d)];
+    ch.send(f);
+    ch.bump_staged_hops();
   }
 
   void eject(Flit f) { ejected.push_back(f); }
@@ -153,7 +160,9 @@ class Router {
 
   /// Productive output ports for `dst`: the configured algorithm on a
   /// healthy topology, or the fault-aware table when links are dead.
+  /// The healthy path is one precomputed-table read (see RouteCache).
   [[nodiscard]] RouteSet routes(NodeId dst) const {
+    if (env_.route_cache != nullptr) return env_.route_cache->routes(id_, dst);
     if (env_.route_table != nullptr) return env_.route_table->routes(id_, dst);
     return compute_routes(env_.cfg->routing, *env_.mesh, id_, dst);
   }
@@ -163,6 +172,7 @@ class Router {
   /// routers, which adapt over all productive ports regardless of the
   /// configured deterministic algorithm.
   [[nodiscard]] RouteSet progressive_dirs(NodeId dst) const {
+    if (env_.route_cache != nullptr) return env_.route_cache->minimal(id_, dst);
     if (env_.route_table != nullptr) return env_.route_table->routes(id_, dst);
     return minimal_routes(*env_.mesh, id_, dst);
   }

@@ -1,0 +1,18 @@
+#include "routing/route_cache.hpp"
+
+namespace dxbar {
+
+RouteCache::RouteCache(RoutingAlgo algo, const Mesh& mesh)
+    : n_(mesh.num_nodes()) {
+  const std::size_t n = static_cast<std::size_t>(n_);
+  algo_.resize(n * n);
+  minimal_.resize(n * n);
+  for (NodeId cur = 0; cur < static_cast<NodeId>(n_); ++cur) {
+    for (NodeId dst = 0; dst < static_cast<NodeId>(n_); ++dst) {
+      algo_[index(cur, dst)] = compute_routes(algo, mesh, cur, dst);
+      minimal_[index(cur, dst)] = minimal_routes(mesh, cur, dst);
+    }
+  }
+}
+
+}  // namespace dxbar

@@ -1,0 +1,56 @@
+// Precomputed routing lookup tables.
+//
+// On a healthy topology every routing function is a pure function of
+// (current node, destination), yet the simulation kernel used to
+// recompute it for every candidate flit every cycle — ~35M calls for a
+// 200k-cycle 8x8 run, the single largest line in the profile.  The
+// cache materialises both the configured algorithm's route sets and the
+// minimal-adaptive sets once per network, turning each hot-path lookup
+// into one array read.
+//
+// The tables are O(N^2) in mesh nodes, so construction is gated by
+// `RouteCache::worthwhile` (64 KB per table on the paper's 8x8 mesh,
+// ~2 MB at the 32x32 gate).  Degraded topologies (link faults) use the
+// BFS RouteTable instead and never build this cache.
+#pragma once
+
+#include <vector>
+
+#include "routing/route.hpp"
+#include "routing/routing_algorithm.hpp"
+#include "topology/mesh.hpp"
+
+namespace dxbar {
+
+class RouteCache {
+ public:
+  RouteCache(RoutingAlgo algo, const Mesh& mesh);
+
+  /// Preference-ordered productive ports under the configured algorithm.
+  [[nodiscard]] const RouteSet& routes(NodeId cur, NodeId dst) const {
+    return algo_[index(cur, dst)];
+  }
+
+  /// Minimal-adaptive set (every distance-reducing port).
+  [[nodiscard]] const RouteSet& minimal(NodeId cur, NodeId dst) const {
+    return minimal_[index(cur, dst)];
+  }
+
+  /// The O(N^2) tables pay for themselves up to a few thousand nodes;
+  /// beyond that fall back to on-the-fly computation.
+  [[nodiscard]] static bool worthwhile(const Mesh& mesh) noexcept {
+    return mesh.num_nodes() <= 1024;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(NodeId cur, NodeId dst) const noexcept {
+    return static_cast<std::size_t>(cur) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  int n_;
+  std::vector<RouteSet> algo_;
+  std::vector<RouteSet> minimal_;
+};
+
+}  // namespace dxbar

@@ -3,6 +3,14 @@
 #include <algorithm>
 #include <cassert>
 
+#include "router/afc_router.hpp"
+#include "router/bless_router.hpp"
+#include "router/buffered_router.hpp"
+#include "router/dxbar_router.hpp"
+#include "router/scarab_router.hpp"
+#include "router/unified_router.hpp"
+#include "router/vc_router.hpp"
+
 namespace dxbar {
 
 Network::Network(const SimConfig& cfg)
@@ -24,6 +32,8 @@ Network::Network(const SimConfig& cfg, FaultPlan plan)
         mesh_, [this](NodeId n, Direction d) {
           return link_faults_.alive(n, d);
         });
+  } else if (RouteCache::worthwhile(mesh_)) {
+    route_cache_ = std::make_unique<RouteCache>(cfg_.routing, mesh_);
   }
   build();
 }
@@ -34,29 +44,44 @@ void Network::build() {
   const int n = mesh_.num_nodes();
   const int credits = link_credits_for(cfg_.design, cfg_.buffer_depth);
 
-  // Channels: one per existing directed link.  links_[link_index(a, d)]
-  // carries flits from router a's output d to the neighbour's opposite
-  // input port.
-  links_.resize(static_cast<std::size_t>(n) * kNumLinkDirs);
+  // Channels: one per existing directed link, packed contiguously in
+  // (node, dir) order.  channel_at(a, d) carries flits from router a's
+  // output d to the neighbour's opposite input port.  The vector is
+  // fully populated before any Channel* is handed out, so the pointers
+  // stay stable for the network's lifetime.
+  link_slot_.assign(static_cast<std::size_t>(n) * kNumLinkDirs, -1);
   for (NodeId a = 0; a < static_cast<NodeId>(n); ++a) {
     for (Direction d : kLinkDirs) {
       const auto nb = mesh_.neighbor(a, d);
       if (!nb) continue;
       if (!link_faults_.alive(a, d)) continue;  // dead link: no channel
-      Link& link = links_[static_cast<std::size_t>(link_index(a, port_index(d)))];
+      link_slot_[static_cast<std::size_t>(link_index(a, port_index(d)))] =
+          static_cast<std::int32_t>(channels_.size());
       if (cfg_.design == RouterDesign::BufferedVC) {
-        link.channel = std::make_unique<Channel>(
-            cfg_.num_vcs, cfg_.buffer_depth / cfg_.num_vcs);
+        channels_.emplace_back(cfg_.num_vcs,
+                               cfg_.buffer_depth / cfg_.num_vcs);
       } else {
-        link.channel = std::make_unique<Channel>(credits);
+        channels_.emplace_back(credits);
       }
-      link.dst_node = *nb;
-      link.dst_port = port_index(opposite(d));
+      channel_meta_.push_back(
+          {*nb, port_index(opposite(d))});
     }
   }
 
+  // Channels self-register here when a send / credit return / stop flip
+  // gives advance() work; the per-cycle sweep then skips quiescent ones.
+  active_channels_.reserve(channels_.size());
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    channels_[i].attach_active_list(&active_channels_,
+                                    static_cast<std::uint32_t>(i));
+  }
+
+  // Pre-size the flit arena so steady-state injection recycles slots
+  // instead of growing (growth remains correct, just amortized).
+  flit_pool_.reserve(static_cast<std::size_t>(n) * 16);
+
   sources_.resize(static_cast<std::size_t>(n));
-  for (auto& s : sources_) s.attach(&now_, &stats_);
+  for (auto& s : sources_) s.attach(&now_, &stats_, &flit_pool_);
 
   routers_.reserve(static_cast<std::size_t>(n));
   for (NodeId id = 0; id < static_cast<NodeId>(n); ++id) {
@@ -66,18 +91,17 @@ void Network::build() {
     env.energy = &energy_;
     env.faults = &faults_;
     env.route_table = route_table_.get();
+    env.route_cache = route_cache_.get();
     for (Direction d : kLinkDirs) {
       const int di = port_index(d);
       // Outgoing: our own link in direction d.
-      Link& out = links_[static_cast<std::size_t>(link_index(id, di))];
-      env.out_links[static_cast<std::size_t>(di)] = out.channel.get();
+      env.out_links[static_cast<std::size_t>(di)] = channel_at(id, di);
       // Incoming over input port d: the neighbour-in-direction-d's link
       // pointing back at us.
       const auto nb = mesh_.neighbor(id, d);
       if (nb) {
-        Link& in = links_[static_cast<std::size_t>(
-            link_index(*nb, port_index(opposite(d))))];
-        env.in_links[static_cast<std::size_t>(di)] = in.channel.get();
+        env.in_links[static_cast<std::size_t>(di)] =
+            channel_at(*nb, port_index(opposite(d)));
       }
     }
     auto router = make_router(id, env);
@@ -88,6 +112,7 @@ void Network::build() {
 
   if (cfg_.design == RouterDesign::Scarab) {
     scarab_staging_.resize(static_cast<std::size_t>(n));
+    for (auto& st : scarab_staging_) st.attach_pool(&flit_pool_);
     scarab_outstanding_.assign(static_cast<std::size_t>(n), 0);
     scarab_capacity_flits_ = cfg_.retransmit_buffer * cfg_.packet_length;
     nacks_.set_num_nodes(n);
@@ -132,8 +157,7 @@ void Network::scarab_release_staging() {
     auto& staging = scarab_staging_[n];
     while (!staging.empty() &&
            scarab_outstanding_[n] < scarab_capacity_flits_) {
-      sources_[n].push_back(staging.front());
-      staging.pop_front();
+      sources_[n].push_back(staging.pop_front());
       ++scarab_outstanding_[n];
     }
   }
@@ -150,6 +174,7 @@ void Network::scarab_deliver_nacks() {
 
 void Network::handle_ejections() {
   for (auto& router : routers_) {
+    if (router->ejected.empty()) continue;
     for (const Flit& f : router->ejected) {
       assert(f.dst == router->id() && "flit ejected at wrong node");
       ++flits_delivered_;
@@ -189,38 +214,94 @@ void Network::handle_ejections() {
   }
 }
 
-void Network::step() {
-  // 1. Links move: flits advance one stage, pending credits post.
-  for (Link& l : links_) {
-    if (l.channel) l.channel->advance();
-  }
+namespace {
 
-  // 2. Deliver arrivals into the routers' input registers.
-  for (Link& l : links_) {
-    if (!l.channel) continue;
-    if (auto f = l.channel->take_arrival()) {
-      auto& slot = routers_[l.dst_node]->in[static_cast<std::size_t>(l.dst_port)];
+/// Steps every router through its concrete type.  All routers of one
+/// network share the design, so the per-cycle loop dispatches once on
+/// the enum instead of once per router through the vtable; the virtual
+/// interface remains for extensions and tests.
+template <typename ConcreteRouter>
+void step_all(std::vector<std::unique_ptr<Router>>& routers, Cycle now) {
+  for (auto& r : routers) {
+    static_cast<ConcreteRouter*>(r.get())->step(now);
+  }
+}
+
+}  // namespace
+
+void Network::step_routers() {
+  switch (cfg_.design) {
+    case RouterDesign::FlitBless:
+      step_all<BlessRouter>(routers_, now_);
+      return;
+    case RouterDesign::Scarab:
+      step_all<ScarabRouter>(routers_, now_);
+      return;
+    case RouterDesign::Buffered4:
+    case RouterDesign::Buffered8:
+      step_all<BufferedRouter>(routers_, now_);
+      return;
+    case RouterDesign::DXbar:
+      step_all<DXbarRouter>(routers_, now_);
+      return;
+    case RouterDesign::UnifiedXbar:
+      step_all<UnifiedRouter>(routers_, now_);
+      return;
+    case RouterDesign::BufferedVC:
+      step_all<VcRouter>(routers_, now_);
+      return;
+    case RouterDesign::Afc:
+      step_all<AfcRouter>(routers_, now_);
+      return;
+  }
+  for (auto& r : routers_) r->step(now_);  // unreachable fallback
+}
+
+void Network::step() {
+  // 1. Links move: flits advance one stage, pending credits post, and
+  //    this cycle's arrival (if any) lands in the downstream input
+  //    register.  Only channels with pending work are visited (advance()
+  //    is the identity on a quiescent channel); channels are mutually
+  //    independent, so advancing and delivering in the same sweep is
+  //    equivalent to the former full two-pass formulation.  A channel
+  //    that went quiescent is delisted in place; it re-registers itself
+  //    on its next mutation.
+  std::size_t keep = 0;
+  for (std::size_t k = 0; k < active_channels_.size(); ++k) {
+    const std::uint32_t i = active_channels_[k];
+    Channel& ch = channels_[i];
+    ch.advance();
+    if (ch.has_arrival()) {
+      const Flit f = *ch.take_arrival();
+      const ChannelMeta m = channel_meta_[i];
+      auto& slot = routers_[m.dst_node]->in[static_cast<std::size_t>(m.dst_port)];
       assert(!slot.has_value() && "input register collision");
-      if (tracer_ != nullptr) tracer_->on_flit_hop(*f, l.dst_node, now_);
-      slot = *f;
+      if (tracer_ != nullptr) tracer_->on_flit_hop(f, m.dst_node, now_);
+      slot = f;
+    }
+    if (ch.quiescent()) {
+      ch.mark_delisted();
+    } else {
+      active_channels_[keep++] = i;
     }
   }
+  active_channels_.resize(keep);
 
-  // 3. SCARAB control: NACK deliveries re-queue drops; staging drains
+  // 2. SCARAB control: NACK deliveries re-queue drops; staging drains
   //    into the sources while retransmit-buffer space allows.
   if (cfg_.design == RouterDesign::Scarab) {
     scarab_deliver_nacks();
     scarab_release_staging();
   }
 
-  // 4. Workload injects this cycle's new packets.
+  // 3. Workload injects this cycle's new packets.
   if (workload_ != nullptr) workload_->begin_cycle(now_, *this);
 
-  // 5. Routers switch.  All inter-router coupling is channel-mediated,
+  // 4. Routers switch.  All inter-router coupling is channel-mediated,
   //    so iteration order is immaterial.
-  for (auto& r : routers_) r->step(now_);
+  step_routers();
 
-  // 6. Ejections, reassembly, completion callbacks.
+  // 5. Ejections, reassembly, completion callbacks.
   handle_ejections();
 
   ++now_;
@@ -230,31 +311,42 @@ std::vector<Network::LinkUsage> Network::link_usage() const {
   std::vector<LinkUsage> out;
   for (NodeId n = 0; n < static_cast<NodeId>(mesh_.num_nodes()); ++n) {
     for (Direction d : kLinkDirs) {
-      const Link& l =
-          links_[static_cast<std::size_t>(link_index(n, port_index(d)))];
-      if (l.channel) {
-        out.push_back({LinkId{n, d}, l.channel->total_sends()});
+      const std::int32_t slot =
+          link_slot_[static_cast<std::size_t>(link_index(n, port_index(d)))];
+      if (slot >= 0) {
+        out.push_back(
+            {LinkId{n, d},
+             channels_[static_cast<std::size_t>(slot)].total_sends()});
       }
     }
   }
   return out;
 }
 
-bool Network::idle() const {
+bool Network::idle_by_scan() const {
   for (const auto& s : sources_) {
     if (!s.empty()) return false;
   }
   for (const auto& r : routers_) {
     if (r->occupancy() != 0) return false;
   }
-  for (const Link& l : links_) {
-    if (l.channel && l.channel->occupancy() != 0) return false;
+  for (const Channel& ch : channels_) {
+    if (ch.occupancy() != 0) return false;
   }
   if (!nacks_.empty()) return false;
   for (const auto& st : scarab_staging_) {
     if (!st.empty()) return false;
   }
   return true;
+}
+
+bool Network::idle() const {
+  // Flit conservation: every created flit sits in exactly one of the
+  // places idle_by_scan() walks until it is delivered, so the counter
+  // identity is equivalent to the structural scan (asserted in debug).
+  const bool fast = flits_created_ == flits_delivered_;
+  assert(fast == idle_by_scan());
+  return fast;
 }
 
 }  // namespace dxbar

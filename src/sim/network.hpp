@@ -2,15 +2,16 @@
 // SCARAB retransmission control and the per-cycle simulation loop.
 #pragma once
 
-#include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/flit_pool.hpp"
+#include "common/packet_map.hpp"
 #include "common/stats.hpp"
 #include "fault/fault_model.hpp"
 #include "fault/link_faults.hpp"
+#include "routing/route_cache.hpp"
 #include "routing/route_table.hpp"
 #include "power/energy_model.hpp"
 #include "router/factory.hpp"
@@ -70,6 +71,9 @@ class Network final : public Injector, public NackSink {
   [[nodiscard]] Cycle now() const noexcept { return now_; }
 
   /// No flit anywhere in the system (queues, routers, links, NACKs).
+  /// O(1): every created flit is delivered exactly once, so the
+  /// created/delivered counters balance exactly when nothing is in
+  /// flight (drops re-enter the source queue without re-counting).
   [[nodiscard]] bool idle() const;
 
   // --- Injector -------------------------------------------------------
@@ -88,6 +92,11 @@ class Network final : public Injector, public NackSink {
   [[nodiscard]] const FaultPlan& faults() const noexcept { return faults_; }
   [[nodiscard]] const LinkFaultPlan& link_faults() const noexcept {
     return link_faults_;
+  }
+  /// The arena backing source queues and SCARAB staging; a drained
+  /// network must report flit_pool().live() == 0.
+  [[nodiscard]] const FlitPool& flit_pool() const noexcept {
+    return flit_pool_;
   }
 
   // --- global accounting (whole run, not just the window) ---------------
@@ -115,21 +124,34 @@ class Network final : public Injector, public NackSink {
   [[nodiscard]] std::vector<LinkUsage> link_usage() const;
 
  private:
-  /// One directed link: the channel plus where it delivers.
-  struct Link {
-    std::unique_ptr<Channel> channel;
+  /// Delivery endpoint of channels_[i]: which router input register the
+  /// arrival lands in.  Kept in a parallel array so the per-cycle
+  /// channel sweep walks two dense arrays and nothing else.
+  struct ChannelMeta {
     NodeId dst_node = kInvalidNode;
-    int dst_port = 0;  ///< input port index at the destination router
+    int dst_port = 0;
   };
 
   [[nodiscard]] int link_index(NodeId node, int dir) const noexcept {
     return static_cast<int>(node) * kNumLinkDirs + dir;
   }
 
+  /// Channel for the directed link (node, dir), or nullptr when the
+  /// link does not exist (mesh edge / dead link).
+  [[nodiscard]] Channel* channel_at(NodeId node, int dir) noexcept {
+    const std::int32_t slot =
+        link_slot_[static_cast<std::size_t>(link_index(node, dir))];
+    return slot < 0 ? nullptr : &channels_[static_cast<std::size_t>(slot)];
+  }
+
   void build();
+  void step_routers();
   void handle_ejections();
   void scarab_release_staging();
   void scarab_deliver_nacks();
+  /// Slow structural scan backing the idle() counter identity in debug
+  /// builds.
+  [[nodiscard]] bool idle_by_scan() const;
 
   SimConfig cfg_;
   Mesh mesh_;
@@ -137,12 +159,25 @@ class Network final : public Injector, public NackSink {
   FaultPlan faults_;
   LinkFaultPlan link_faults_;
   std::unique_ptr<RouteTable> route_table_;  ///< set iff link faults exist
+  std::unique_ptr<RouteCache> route_cache_;  ///< set iff topology healthy
   StatsCollector stats_;
   WorkloadModel* workload_ = nullptr;
   EventTracer* tracer_ = nullptr;
 
-  std::vector<Link> links_;  ///< indexed by link_index(); channel may be null
+  /// All existing channels, contiguous in (node, dir) order; the
+  /// per-cycle sweep is one pass over this array.
+  std::vector<Channel> channels_;
+  std::vector<ChannelMeta> channel_meta_;  ///< parallel to channels_
+  /// Slots of channels with in-flight flits / pending credits / stop
+  /// flips; the only channels step() must advance.  Capacity is reserved
+  /// to channels_.size() up front and each channel registers at most
+  /// once, so steady-state maintenance never allocates.
+  std::vector<std::uint32_t> active_channels_;
+  /// link_index(node, dir) -> slot in channels_, or -1 when absent.
+  std::vector<std::int32_t> link_slot_;
+
   std::vector<std::unique_ptr<Router>> routers_;
+  FlitPool flit_pool_;
   std::vector<InjectionQueue> sources_;
 
   /// Packet reassembly at the destination MSHRs.
@@ -150,11 +185,11 @@ class Network final : public Injector, public NackSink {
     int received = 0;
     PacketRecord rec;
   };
-  std::unordered_map<PacketId, Assembly> assembly_;
+  PacketMap<Assembly> assembly_;
 
   // SCARAB retransmission control: freshly created flits wait in staging
   // until the source's retransmit buffer has room.
-  std::vector<std::deque<Flit>> scarab_staging_;
+  std::vector<PooledFlitDeque> scarab_staging_;
   std::vector<int> scarab_outstanding_;
   int scarab_capacity_flits_ = 0;
   NackNetwork nacks_;

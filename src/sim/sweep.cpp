@@ -1,5 +1,6 @@
 #include "sim/sweep.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
@@ -19,18 +20,28 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
     return;
   }
 
+  // Chunked atomic-counter work stealing: every worker claims a small
+  // contiguous run of indices per fetch_add.  Chunks amortize counter
+  // contention while staying small enough that imbalanced sweeps (the
+  // saturated high-load points run much longer than low-load ones)
+  // keep all workers busy until the range is exhausted.
   std::atomic<std::size_t> next{0};
+  const std::size_t chunk = std::max<std::size_t>(
+      1, n / (static_cast<std::size_t>(workers) * 8));
+  const auto work = [&] {
+    for (;;) {
+      const std::size_t begin =
+          next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const std::size_t end = std::min(begin + chunk, n);
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }
+  };
+
   std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
-        fn(i);
-      }
-    });
-  }
+  pool.reserve(workers - 1);
+  for (unsigned w = 1; w < workers; ++w) pool.emplace_back(work);
+  work();  // the calling thread participates instead of blocking
   for (auto& t : pool) t.join();
 }
 

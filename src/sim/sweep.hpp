@@ -19,7 +19,10 @@ std::vector<RunStats> run_sweep(const std::vector<SimConfig>& configs,
                                 unsigned threads = 0);
 
 /// Generic parallel map over an index range [0, n): `fn(i)` must be
-/// thread-safe and is invoked exactly once per index.
+/// thread-safe and is invoked exactly once per index.  Work is claimed
+/// in small chunks off a shared atomic counter (work stealing), so
+/// imbalanced ranges keep every worker busy; the result is independent
+/// of the thread count.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   unsigned threads = 0);
 

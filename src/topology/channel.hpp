@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cassert>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -46,19 +47,21 @@ class Channel {
   }
 
   /// Stage a flit on a specific VC; consumes one credit of that VC.
-  void send_vc(Flit f, int vc) {
+  void send_vc(const Flit& f, int vc) {
     assert(can_send_vc(vc));
-    f.vc = static_cast<std::uint8_t>(vc);
     --vc_credits_[static_cast<std::size_t>(vc)];
     --credits_;
     staged_ = f;
+    staged_->vc = static_cast<std::uint8_t>(vc);
     ++total_sends_;
+    touch();
   }
 
   /// Downstream freed a slot of the given VC.
   void return_credit_vc(int vc) noexcept {
     ++vc_pending_[static_cast<std::size_t>(vc)];
     ++pending_credits_;
+    touch();
   }
 
   // ---- upstream (sender) side ----------------------------------------
@@ -72,11 +75,22 @@ class Channel {
   }
 
   /// Stage a flit for link traversal; consumes one credit when limited.
-  void send(Flit f) {
-    assert(can_send());
+  /// Asserts link/credit availability but not `!stop_`: the DXbar /
+  /// Unified liveness valves (must-win, stall-escape) legitimately send
+  /// into a stopped receiver, where the arrival becomes a must-win flit.
+  void send(const Flit& f) {
+    assert(can_send_ignoring_stop());
     if (credits_ != kUnlimitedCredits) --credits_;
     staged_ = f;
     ++total_sends_;
+    touch();
+  }
+
+  /// Hop-count bump applied in place on the just-staged flit, so the
+  /// router send path copies each departing flit exactly once.
+  void bump_staged_hops() noexcept {
+    assert(staged_.has_value());
+    ++staged_->hops;
   }
 
   /// Flits ever sent over this link (utilization accounting).
@@ -96,17 +110,31 @@ class Channel {
     return out;
   }
 
+  /// Cheap emptiness probe so the network's per-cycle loop can skip the
+  /// optional copy in take_arrival() for the (common) idle channels.
+  [[nodiscard]] bool has_arrival() const noexcept {
+    return arrived_.has_value();
+  }
+
   /// Downstream frees a buffer slot (or forwarded the flit without ever
   /// buffering it); the credit becomes usable upstream next cycle.
   void return_credit() noexcept {
-    if (credits_ != kUnlimitedCredits) ++pending_credits_;
+    if (credits_ != kUnlimitedCredits) {
+      ++pending_credits_;
+      touch();
+    }
   }
 
   /// On/off flow control (DXbar/Unified): the receiver asserts stop while
   /// its input FIFO is full.  Takes effect upstream one cycle later, so
   /// up to two in-flight flits can still arrive at a full FIFO — the
   /// router's deflection escape valve absorbs exactly that race.
-  void set_stop(bool stop) noexcept { stop_pending_ = stop; }
+  void set_stop(bool stop) noexcept {
+    if (stop_pending_ != stop) {
+      stop_pending_ = stop;
+      touch();
+    }
+  }
 
   /// Sendability ignoring the stop signal.  Used by the deflection
   /// escape valve and the stall-escape override: sending into a stopped
@@ -124,11 +152,17 @@ class Channel {
   /// pending credit returns -> usable credits.
   void advance() noexcept {
     assert(!arrived_.has_value() && "previous arrival was not consumed");
-    arrived_ = in_flight_;
-    in_flight_ = staged_;
-    staged_.reset();
-    credits_ += pending_credits_;
-    pending_credits_ = 0;
+    // Empty-pipeline fast path: shifting three empty optionals is a
+    // no-op, so only do the copies when a flit is actually in transit.
+    if (in_flight_.has_value() || staged_.has_value()) {
+      arrived_ = in_flight_;
+      in_flight_ = staged_;
+      staged_.reset();
+    }
+    if (pending_credits_ != 0) {
+      credits_ += pending_credits_;
+      pending_credits_ = 0;
+    }
     for (std::size_t v = 0; v < vc_credits_.size(); ++v) {
       vc_credits_[v] += vc_pending_[v];
       vc_pending_[v] = 0;
@@ -142,12 +176,49 @@ class Channel {
            (arrived_.has_value() ? 1 : 0);
   }
 
+  // ---- active-channel tracking ----------------------------------------
+  //
+  // The network only advances channels with something to do.  A channel
+  // registers itself on the shared active list the moment any mutation
+  // (send, credit return, stop-signal change) gives advance() work, and
+  // the network delists it once it is quiescent again — advance() is the
+  // identity on a quiescent channel, so skipping it is unobservable.
+  // Standalone channels (unit tests) have no list and behave as before.
+
+  /// Wire this channel to the owning network's active list.
+  void attach_active_list(std::vector<std::uint32_t>* list,
+                          std::uint32_t slot) noexcept {
+    active_list_ = list;
+    slot_ = slot;
+  }
+
+  /// Nothing in the pipeline, no credits to post, stop signal latched:
+  /// advance() would change no state.
+  [[nodiscard]] bool quiescent() const noexcept {
+    return !staged_.has_value() && !in_flight_.has_value() &&
+           !arrived_.has_value() && pending_credits_ == 0 &&
+           stop_ == stop_pending_;
+  }
+
+  /// The network delists a quiescent channel during its sweep.
+  void mark_delisted() noexcept { listed_ = false; }
+
  private:
+  void touch() {
+    if (active_list_ != nullptr && !listed_) {
+      listed_ = true;
+      active_list_->push_back(slot_);
+    }
+  }
+
   int credits_;
   int pending_credits_ = 0;
   std::vector<int> vc_credits_;  ///< empty unless VC-constructed
   std::vector<int> vc_pending_;
   std::uint64_t total_sends_ = 0;
+  std::vector<std::uint32_t>* active_list_ = nullptr;
+  std::uint32_t slot_ = 0;
+  bool listed_ = false;
   bool stop_ = false;
   bool stop_pending_ = false;
   std::optional<Flit> staged_;     ///< sent this cycle (ST just finished)

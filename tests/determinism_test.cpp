@@ -1,0 +1,109 @@
+// Determinism guarantees backing the perf-regression harness: a seeded
+// open-loop run is a pure function of its SimConfig, and the threaded
+// sweep driver returns the same results regardless of the worker count.
+// Any hidden global state, allocation-order dependence, or cross-thread
+// leak in the simulation kernel shows up here as a field mismatch.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/sim_runner.hpp"
+#include "sim/sweep.hpp"
+
+namespace dxbar {
+namespace {
+
+constexpr RouterDesign kAllDesigns[] = {
+    RouterDesign::FlitBless, RouterDesign::Scarab,     RouterDesign::Buffered4,
+    RouterDesign::Buffered8, RouterDesign::DXbar,      RouterDesign::UnifiedXbar,
+    RouterDesign::BufferedVC, RouterDesign::Afc,
+};
+
+// Every field, compared exactly: determinism means bit-identical doubles,
+// not merely close ones.
+void expect_identical(const RunStats& a, const RunStats& b) {
+  EXPECT_EQ(a.offered_load, b.offered_load);
+  EXPECT_EQ(a.accepted_load, b.accepted_load);
+  EXPECT_EQ(a.accepted_load_stddev, b.accepted_load_stddev);
+  EXPECT_EQ(a.avg_packet_latency, b.avg_packet_latency);
+  EXPECT_EQ(a.avg_network_latency, b.avg_network_latency);
+  EXPECT_EQ(a.latency_p50, b.latency_p50);
+  EXPECT_EQ(a.latency_p95, b.latency_p95);
+  EXPECT_EQ(a.latency_p99, b.latency_p99);
+  EXPECT_EQ(a.latency_max, b.latency_max);
+  EXPECT_EQ(a.avg_hops, b.avg_hops);
+  EXPECT_EQ(a.deflections_per_flit, b.deflections_per_flit);
+  EXPECT_EQ(a.retransmits_per_flit, b.retransmits_per_flit);
+  EXPECT_EQ(a.packets_completed, b.packets_completed);
+  EXPECT_EQ(a.flits_ejected, b.flits_ejected);
+  EXPECT_EQ(a.flits_injected, b.flits_injected);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.packet_length, b.packet_length);
+  EXPECT_EQ(a.drained, b.drained);
+  EXPECT_EQ(a.energy_buffer_nj, b.energy_buffer_nj);
+  EXPECT_EQ(a.energy_crossbar_nj, b.energy_crossbar_nj);
+  EXPECT_EQ(a.energy_link_nj, b.energy_link_nj);
+  EXPECT_EQ(a.energy_control_nj, b.energy_control_nj);
+}
+
+SimConfig small_cfg(RouterDesign design) {
+  SimConfig cfg;
+  cfg.design = design;
+  cfg.mesh_width = 4;
+  cfg.mesh_height = 4;
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 1500;
+  cfg.offered_load = 0.25;
+  cfg.seed = 7;
+  return cfg;
+}
+
+class DeterminismTest : public ::testing::TestWithParam<RouterDesign> {};
+
+TEST_P(DeterminismTest, OpenLoopRunIsBitIdenticalAcrossInvocations) {
+  const SimConfig cfg = small_cfg(GetParam());
+  const RunStats first = run_open_loop(cfg);
+  const RunStats second = run_open_loop(cfg);
+  expect_identical(first, second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Designs, DeterminismTest, ::testing::ValuesIn(kAllDesigns),
+    [](const ::testing::TestParamInfo<RouterDesign>& info) {
+      std::string name(to_string(info.param));
+      for (char& c : name) {
+        if (c == '-' || c == ' ') c = '_';
+      }
+      return name;
+    });
+
+TEST(SweepDeterminism, ResultsIndependentOfThreadCount) {
+  // A mixed batch (several designs x loads) exercises work stealing with
+  // unequal point costs; results must align with the input order and be
+  // identical for any worker count.
+  std::vector<SimConfig> configs;
+  for (RouterDesign d : {RouterDesign::DXbar, RouterDesign::FlitBless,
+                         RouterDesign::Buffered4}) {
+    for (double load : {0.1, 0.3, 0.45}) {
+      SimConfig cfg = small_cfg(d);
+      cfg.offered_load = load;
+      configs.push_back(cfg);
+    }
+  }
+
+  const std::vector<RunStats> one = run_sweep(configs, 1);
+  const std::vector<RunStats> two = run_sweep(configs, 2);
+  const std::vector<RunStats> eight = run_sweep(configs, 8);
+
+  ASSERT_EQ(one.size(), configs.size());
+  ASSERT_EQ(two.size(), configs.size());
+  ASSERT_EQ(eight.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    SCOPED_TRACE("sweep point " + std::to_string(i));
+    expect_identical(one[i], two[i]);
+    expect_identical(one[i], eight[i]);
+  }
+}
+
+}  // namespace
+}  // namespace dxbar

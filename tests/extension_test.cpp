@@ -28,6 +28,7 @@ TEST(VcChannel, IndependentCreditPools) {
 
   ch.return_credit_vc(0);
   EXPECT_FALSE(ch.can_send_vc(0));  // one-cycle return latency
+  (void)ch.take_arrival();          // consume, as the network does each cycle
   ch.advance();
   EXPECT_TRUE(ch.can_send_vc(0));
 }

@@ -1,0 +1,92 @@
+// Golden pins for the zero-allocation kernel rewrite.
+//
+// The rows below were recorded by running the PRE-optimization simulation
+// kernel (the seed revision, before the flit arena / route cache / flat
+// channel-array / devirtualized-dispatch rewrite) with the stock
+// SimConfig (8x8 mesh, DOR, uniform-random, packet length 5, warmup
+// 1000, measure 8000, drain cap 50000, seed 1) at three offered loads
+// per design.  The rewrite is required to be behaviour-preserving, so
+// every value must still reproduce EXACTLY — doubles included, which is
+// why the comparisons are == and not near: the optimized kernel executes
+// the same arithmetic in the same order, only faster.
+//
+// If an intentional behaviour change ever invalidates these, re-record
+// them (see EXPERIMENTS.md, "Perf harness") in the same commit that
+// changes the behaviour, and say why in that commit's message.
+#include <gtest/gtest.h>
+
+#include "sim/sim_runner.hpp"
+
+namespace dxbar {
+namespace {
+
+struct Golden {
+  const char* name;
+  RouterDesign design;
+  double load;
+  double accepted_load;
+  double avg_packet_latency;
+  double avg_network_latency;
+  double deflections_per_flit;
+  std::uint64_t flits_injected;
+  std::uint64_t flits_ejected;
+  std::uint64_t packets_completed;
+  bool drained;
+};
+
+constexpr Golden kGoldens[] = {
+    {"DXbar", RouterDesign::DXbar, 0.10, 0.099287109375000002,
+     16.744444444444444, 16.134218289085545, 3.9331366764995083e-05, 50856,
+     50835, 10170, true},
+    {"DXbar", RouterDesign::DXbar, 0.25, 0.24885156250000001,
+     25.570671378091873, 21.371574401256382, 0.00043188064389477815, 127371,
+     127412, 25470, true},
+    {"DXbar", RouterDesign::DXbar, 0.40, 0.36183593749999998,
+     558.11590792086486, 42.757716162879063, 0.0070996053050918096, 185263,
+     185260, 40791, true},
+    {"FlitBless", RouterDesign::FlitBless, 0.10, 0.099283203124999997,
+     16.576892822025567, 16.360176991150443, 0.24230088495575222, 50851,
+     50833, 10170, true},
+    {"FlitBless", RouterDesign::FlitBless, 0.25, 0.24902539062500001,
+     29.674479780133492, 24.65429917550059, 1.3958146839418923, 127459,
+     127501, 25470, true},
+    {"FlitBless", RouterDesign::FlitBless, 0.40, 0.28357031249999998,
+     2144.880316736535, 38.834988110122332, 2.4787673751562846, 145188,
+     145188, 40791, true},
+    {"Buffered4", RouterDesign::Buffered4, 0.10, 0.099281250000000001,
+     22.456833824975419, 22.141592920353983, 0, 50853, 50832, 10170, true},
+    {"Buffered4", RouterDesign::Buffered4, 0.25, 0.249337890625,
+     54.96588142913231, 34.085904986258342, 0, 127663, 127661, 25470, true},
+    {"Buffered4", RouterDesign::Buffered4, 0.40, 0.26865234375000002,
+     2482.7858351106861, 40.612806746586259, 0, 137577, 137550, 40791, true},
+};
+
+class GoldenReproductionTest : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenReproductionTest, MatchesPreOptimizationKernelExactly) {
+  const Golden& g = GetParam();
+  SimConfig cfg;  // stock defaults; only the swept axes vary
+  cfg.design = g.design;
+  cfg.offered_load = g.load;
+
+  const RunStats s = run_open_loop(cfg);
+
+  EXPECT_EQ(s.accepted_load, g.accepted_load);
+  EXPECT_EQ(s.avg_packet_latency, g.avg_packet_latency);
+  EXPECT_EQ(s.avg_network_latency, g.avg_network_latency);
+  EXPECT_EQ(s.deflections_per_flit, g.deflections_per_flit);
+  EXPECT_EQ(s.flits_injected, g.flits_injected);
+  EXPECT_EQ(s.flits_ejected, g.flits_ejected);
+  EXPECT_EQ(s.packets_completed, g.packets_completed);
+  EXPECT_EQ(s.drained, g.drained);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pinned, GoldenReproductionTest, ::testing::ValuesIn(kGoldens),
+    [](const ::testing::TestParamInfo<Golden>& info) {
+      const int pct = static_cast<int>(info.param.load * 100 + 0.5);
+      return std::string(info.param.name) + "_load" + std::to_string(pct);
+    });
+
+}  // namespace
+}  // namespace dxbar
