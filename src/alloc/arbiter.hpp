@@ -9,6 +9,7 @@
 #include <span>
 
 #include "common/flit.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace dxbar {
 
@@ -26,6 +27,10 @@ class RoundRobinArbiter {
 
   [[nodiscard]] int num_inputs() const noexcept { return n_; }
   [[nodiscard]] int priority_pointer() const noexcept { return next_; }
+
+  // Snapshot protocol: the rotating priority pointer is the only state.
+  void save(SnapshotWriter& w) const { w.i32(next_); }
+  void load(SnapshotReader& r) { next_ = r.i32(); }
 
  private:
   int n_;

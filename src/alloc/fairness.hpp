@@ -10,6 +10,8 @@
 // wins.  The paper settles on a threshold of four.
 #pragma once
 
+#include "snapshot/snapshot.hpp"
+
 namespace dxbar {
 
 class FairnessCounter {
@@ -35,6 +37,10 @@ class FairnessCounter {
   [[nodiscard]] int count() const noexcept { return count_; }
   [[nodiscard]] int threshold() const noexcept { return threshold_; }
   void reset() noexcept { count_ = 0; }
+
+  // Snapshot protocol (the threshold is configuration, not state).
+  void save(SnapshotWriter& w) const { w.i32(count_); }
+  void load(SnapshotReader& r) { count_ = r.i32(); }
 
  private:
   int threshold_;

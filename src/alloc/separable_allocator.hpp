@@ -30,6 +30,16 @@ class SeparableAllocator {
   [[nodiscard]] int num_inputs() const noexcept { return num_inputs_; }
   [[nodiscard]] int num_outputs() const noexcept { return num_outputs_; }
 
+  // Snapshot protocol: both arbiter banks' priority pointers.
+  void save(SnapshotWriter& w) const {
+    for (const RoundRobinArbiter& a : output_arbiters_) a.save(w);
+    for (const RoundRobinArbiter& a : input_arbiters_) a.save(w);
+  }
+  void load(SnapshotReader& r) {
+    for (RoundRobinArbiter& a : output_arbiters_) a.load(r);
+    for (RoundRobinArbiter& a : input_arbiters_) a.load(r);
+  }
+
  private:
   int num_inputs_;
   int num_outputs_;

@@ -115,6 +115,10 @@ std::string SimConfig::validate() const {
   if (offered_load < 0.0 || offered_load > 1.0) {
     return "offered_load must lie in [0, 1]";
   }
+  if (warmup_load > 1.0) {
+    return "warmup_load must lie in [0, 1] (or be negative for "
+           "\"same as offered_load\")";
+  }
   if (packet_length < 1) return "packet_length must be >= 1";
   if (flit_bits < 1) return "flit_bits must be >= 1";
   if (fault_fraction < 0.0 || fault_fraction > 1.0) {
@@ -226,6 +230,9 @@ std::string apply_override(SimConfig& cfg, std::string_view arg) {
   } else if (key == "load") {
     if (!parse_double(val, d)) return bad();
     cfg.offered_load = d;
+  } else if (key == "warmup_load") {
+    if (!parse_double(val, d)) return bad();
+    cfg.warmup_load = d;
   } else if (key == "packet_length") {
     if (!parse_int(val, i)) return bad();
     cfg.packet_length = static_cast<int>(i);

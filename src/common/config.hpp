@@ -49,6 +49,12 @@ struct SimConfig {
   /// Offered load as a fraction of per-node injection capacity
   /// (1.0 == one flit per node per cycle).
   double offered_load = 0.3;
+  /// Injection rate used during the warmup phase only; negative (the
+  /// default) means "same as offered_load".  Pinning this to one value
+  /// across a load sweep makes every point's warmup traffic identical,
+  /// which is what lets a warm-start sweep run warmup once, snapshot,
+  /// and fork the measured phase bit-exactly (see sim/sweep.hpp).
+  double warmup_load = -1.0;
   /// Packet length in flits (cache-line data packet: 64 B / 16 B flits + head).
   int packet_length = 5;
   /// Flit width in bits (paper: 128).

@@ -24,8 +24,18 @@ class FixedQueue {
     return slots_.size() - size_;
   }
 
-  /// Append to the tail.  Returns false (and drops nothing) when full.
+  /// Append to the tail.  Pushing to a full queue is a programming
+  /// error: it asserts in debug builds, and in release builds returns
+  /// false without dropping anything (so a missed caller check degrades
+  /// to back-pressure, not silent truncation).  Callers that probe for
+  /// space as part of normal control flow use try_push instead.
   bool push(T value) {
+    assert(!full() && "push to full FixedQueue");
+    return try_push(std::move(value));
+  }
+
+  /// Append to the tail if space remains; returns false when full.
+  bool try_push(T value) {
     if (full()) return false;
     slots_[(head_ + size_) % slots_.size()] = std::move(value);
     ++size_;

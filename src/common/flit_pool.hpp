@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/flit.hpp"
+#include "snapshot/serialize.hpp"
 
 namespace dxbar {
 
@@ -141,6 +142,33 @@ class PooledFlitDeque {
     pool_->release(idx);
     --size_;
     return f;
+  }
+
+  /// Visits every queued flit front-to-back without mutating the queue.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (FlitPool::Index i = head_; i != FlitPool::kNil; i = pool_->next(i)) {
+      f(pool_->at(i));
+    }
+  }
+
+  /// Releases every queued flit back to the pool.
+  void clear() {
+    while (!empty()) (void)pop_front();
+  }
+
+  /// Snapshot protocol: the queue serializes by value (front-to-back);
+  /// pool slot assignment is an implementation detail the restore
+  /// re-derives by re-acquiring slots, so freelist layout never has to
+  /// match across a save/load round trip.
+  void save(SnapshotWriter& w) const {
+    w.u64(size_);
+    for_each([&](const Flit& f) { save_flit(w, f); });
+  }
+  void load(SnapshotReader& r) {
+    clear();
+    const std::uint64_t n = r.count(8);
+    for (std::uint64_t i = 0; i < n; ++i) push_back(load_flit(r));
   }
 
  private:

@@ -30,6 +30,23 @@ class PacketMap {
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 
+  /// Visits every (key, value) pair in slot order.  Slot order depends
+  /// on insertion history, so callers must not attach semantics to it —
+  /// serialization may use it because rebuilding the map in any order
+  /// reproduces identical lookup behaviour.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const Slot& s : slots_) {
+      if (s.key != 0) f(s.key, s.value);
+    }
+  }
+
+  /// Empties the map, keeping the current capacity.
+  void clear() noexcept {
+    for (Slot& s : slots_) s = Slot{};
+    size_ = 0;
+  }
+
   /// Value for `key`, default-constructing it on first access.
   V& operator[](PacketId key) {
     assert(key != 0 && "PacketId 0 is the empty-slot sentinel");

@@ -7,6 +7,8 @@
 
 #include <cstdint>
 
+#include "snapshot/snapshot.hpp"
+
 namespace dxbar {
 
 /// SplitMix64 — used to expand a single user seed into stream seeds.
@@ -64,6 +66,14 @@ class Rng {
 
   /// Bernoulli trial with success probability p.
   bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Snapshot protocol: the four state words capture the stream exactly.
+  void save(SnapshotWriter& w) const {
+    for (std::uint64_t s : s_) w.u64(s);
+  }
+  void load(SnapshotReader& r) {
+    for (std::uint64_t& s : s_) s = r.u64();
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {

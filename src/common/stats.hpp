@@ -13,6 +13,7 @@
 
 #include "common/flit.hpp"
 #include "common/types.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace dxbar {
 
@@ -114,6 +115,12 @@ class StatsCollector {
 
   /// Summarises into RunStats (energy fields are filled by the caller).
   [[nodiscard]] RunStats summarize(double offered_load, bool drained) const;
+
+  /// Snapshot protocol: captures the window bounds and all in-flight
+  /// accumulation (ejection/injection counters, batch histogram, window
+  /// packet records).
+  void save(SnapshotWriter& w) const;
+  void load(SnapshotReader& r);
 
  private:
   Cycle window_start_;

@@ -20,9 +20,11 @@
 #include "common/stats.hpp"
 #include "fault/fault_model.hpp"
 #include "power/energy_model.hpp"
+#include "sim/campaign.hpp"
 #include "sim/network.hpp"
 #include "sim/sim_runner.hpp"
 #include "sim/sweep.hpp"
+#include "snapshot/serialize.hpp"
 #include "traffic/splash.hpp"
 #include "traffic/trace_io.hpp"
 

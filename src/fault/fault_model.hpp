@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace dxbar {
 
@@ -62,6 +63,39 @@ class FaultPlan {
 
   [[nodiscard]] Cycle detect_delay() const noexcept { return detect_delay_; }
   [[nodiscard]] int num_faulty() const noexcept { return num_faulty_; }
+
+  // ---- snapshot protocol ----------------------------------------------
+  //
+  // Detection state (BIST timers) is a pure function of the plan and the
+  // current cycle, so serializing the plan plus restoring the network's
+  // clock reproduces mid-flight detection windows exactly.  The plan
+  // itself must travel because a network may be built with a custom plan
+  // the target's config cannot re-derive.
+
+  void save(SnapshotWriter& w) const {
+    w.u64(faults_.size());
+    for (const RouterFault& f : faults_) {
+      w.boolean(f.faulty);
+      w.u8(static_cast<std::uint8_t>(f.failed));
+      w.u64(f.onset);
+    }
+    w.u64(detect_delay_);
+    w.i32(num_faulty_);
+  }
+
+  void load(SnapshotReader& r) {
+    const std::uint64_t n = r.count(10);
+    if (n != faults_.size()) {
+      throw SnapshotError("fault plan router count mismatch");
+    }
+    for (RouterFault& f : faults_) {
+      f.faulty = r.boolean();
+      f.failed = static_cast<CrossbarKind>(r.u8());
+      f.onset = r.u64();
+    }
+    detect_delay_ = r.u64();
+    num_faulty_ = r.i32();
+  }
 
  private:
   std::vector<RouterFault> faults_;

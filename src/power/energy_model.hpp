@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "common/types.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace dxbar {
 
@@ -92,6 +93,24 @@ class EnergyMeter {
   }
 
   [[nodiscard]] const EnergyParams& params() const noexcept { return params_; }
+
+  // Snapshot protocol: the gate flag and the four accumulators (the
+  // per-event parameters are configuration).  Doubles round-trip by bit
+  // pattern, so restored accumulation continues bit-exactly.
+  void save(SnapshotWriter& w) const {
+    w.boolean(enabled_);
+    w.f64(buffer_pj_);
+    w.f64(crossbar_pj_);
+    w.f64(link_pj_);
+    w.f64(control_pj_);
+  }
+  void load(SnapshotReader& r) {
+    enabled_ = r.boolean();
+    buffer_pj_ = r.f64();
+    crossbar_pj_ = r.f64();
+    link_pj_ = r.f64();
+    control_pj_ = r.f64();
+  }
 
  private:
   EnergyParams params_;

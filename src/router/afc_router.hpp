@@ -28,6 +28,8 @@ class AfcRouter final : public Router {
 
   void step(Cycle now) override;
   [[nodiscard]] int occupancy() const override;
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
 
   // --- introspection for tests ---------------------------------------
   [[nodiscard]] bool buffered_mode() const { return buffered_mode_; }

@@ -119,4 +119,26 @@ int BufferedRouter::occupancy() const {
   return n;
 }
 
+void BufferedRouter::save_state(SnapshotWriter& w) const {
+  for (const auto& q : lanes_) {
+    save_fixed_queue(w, q, [](SnapshotWriter& sw, const Entry& e) {
+      save_flit(sw, e.flit);
+      sw.u64(e.ready);
+    });
+  }
+  allocator_.save(w);
+}
+
+void BufferedRouter::load_state(SnapshotReader& r) {
+  for (auto& q : lanes_) {
+    load_fixed_queue(r, q, [](SnapshotReader& sr) {
+      Entry e;
+      e.flit = load_flit(sr);
+      e.ready = sr.u64();
+      return e;
+    });
+  }
+  allocator_.load(r);
+}
+
 }  // namespace dxbar

@@ -25,6 +25,8 @@ class BufferedRouter final : public Router {
 
   void step(Cycle now) override;
   [[nodiscard]] int occupancy() const override;
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
 
   /// Total buffer slots per input port == credits the upstream holds.
   [[nodiscard]] int buffer_slots_per_input() const noexcept {

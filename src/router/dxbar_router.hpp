@@ -48,6 +48,8 @@ class DXbarRouter final : public Router {
 
   void step(Cycle now) override;
   [[nodiscard]] int occupancy() const override;
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
 
   // --- introspection for tests ---------------------------------------
   [[nodiscard]] int buffer_size(Direction d) const {

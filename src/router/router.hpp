@@ -63,6 +63,11 @@ class InjectionQueue {
   /// Retransmissions re-enter at the front so age order is preserved.
   void push_front(const Flit& f) { q_.push_front(f); }
 
+  // Snapshot protocol: queue contents by value (the clock/stats wiring
+  // and backing pool are re-established at construction).
+  void save(SnapshotWriter& w) const { q_.save(w); }
+  void load(SnapshotReader& r) { q_.load(r); }
+
  private:
   PooledFlitDeque q_;
   const Cycle* clock_ = nullptr;
@@ -121,6 +126,15 @@ class Router {
   /// Flits resident inside the router (input buffers); the network uses
   /// this for drain detection.
   [[nodiscard]] virtual int occupancy() const = 0;
+
+  /// Snapshot protocol: serialize/restore the router's mutable state
+  /// (buffers, arbiter pointers, wait counters, design counters).  The
+  /// defaults cover the stateless bufferless designs (Bless, SCARAB),
+  /// which hold nothing between cycles — snapshots are taken at step
+  /// boundaries, where in[] and ejected are empty by the network's
+  /// cycle protocol.
+  virtual void save_state(SnapshotWriter& w) const { (void)w; }
+  virtual void load_state(SnapshotReader& r) { (void)r; }
 
   [[nodiscard]] NodeId id() const noexcept { return id_; }
 

@@ -121,4 +121,32 @@ int VcRouter::occupancy() const {
   return n;
 }
 
+void VcRouter::save_state(SnapshotWriter& w) const {
+  for (const auto& q : vcs_) {
+    save_fixed_queue(w, q, [](SnapshotWriter& sw, const Entry& e) {
+      save_flit(sw, e.flit);
+      sw.u64(e.ready);
+    });
+  }
+  for (const auto& a : vc_pick_) a.save(w);
+  for (const auto& a : out_vc_pick_) a.save(w);
+  allocator_.save(w);
+  w.u64(speculation_failures_);
+}
+
+void VcRouter::load_state(SnapshotReader& r) {
+  for (auto& q : vcs_) {
+    load_fixed_queue(r, q, [](SnapshotReader& sr) {
+      Entry e;
+      e.flit = load_flit(sr);
+      e.ready = sr.u64();
+      return e;
+    });
+  }
+  for (auto& a : vc_pick_) a.load(r);
+  for (auto& a : out_vc_pick_) a.load(r);
+  allocator_.load(r);
+  speculation_failures_ = r.u64();
+}
+
 }  // namespace dxbar

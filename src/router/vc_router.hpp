@@ -28,6 +28,8 @@ class VcRouter final : public Router {
 
   void step(Cycle now) override;
   [[nodiscard]] int occupancy() const override;
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
 
   // --- introspection for tests ---------------------------------------
   [[nodiscard]] std::uint64_t speculation_failures() const {

@@ -12,6 +12,7 @@
 
 #include "common/flit.hpp"
 #include "power/energy_model.hpp"
+#include "snapshot/serialize.hpp"
 #include "topology/mesh.hpp"
 
 namespace dxbar {
@@ -52,6 +53,43 @@ class NackNetwork {
 
   [[nodiscard]] bool empty() const noexcept { return q_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return q_.size(); }
+
+  // ---- snapshot protocol ----------------------------------------------
+  //
+  // Events are written in heap-pop order (deliver, then seq), which is
+  // exactly the order the restored queue re-derives, so delivery order
+  // is bit-stable across a round trip.
+
+  void save(SnapshotWriter& w) const {
+    w.u64(q_.size());
+    auto copy = q_;
+    while (!copy.empty()) {
+      const Event& e = copy.top();
+      w.u64(e.deliver);
+      w.u64(e.seq);
+      save_flit(w, e.flit);
+      copy.pop();
+    }
+    w.u64(wire_free_.size());
+    for (Cycle c : wire_free_) w.u64(c);
+    w.u64(seq_);
+  }
+
+  void load(SnapshotReader& r) {
+    q_ = {};
+    const std::uint64_t n = r.count(16);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Event e;
+      e.deliver = r.u64();
+      e.seq = r.u64();
+      e.flit = load_flit(r);
+      q_.push(e);
+    }
+    const std::uint64_t wires = r.count(8);
+    wire_free_.assign(wires, 0);
+    for (Cycle& c : wire_free_) c = r.u64();
+    seq_ = r.u64();
+  }
 
  private:
   struct Event {

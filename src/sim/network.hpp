@@ -98,6 +98,35 @@ class Network final : public Injector, public NackSink {
   [[nodiscard]] const FlitPool& flit_pool() const noexcept {
     return flit_pool_;
   }
+  /// Which routing acceleration structure this network built (mutually
+  /// exclusive; both false on small meshes with no link faults).
+  [[nodiscard]] bool using_route_cache() const noexcept {
+    return route_cache_ != nullptr;
+  }
+  [[nodiscard]] bool using_route_table() const noexcept {
+    return route_table_ != nullptr;
+  }
+
+  // --- snapshot/restore -------------------------------------------------
+  /// Serializes all mutable simulation state as snapshot sections.  Must
+  /// be called at a step boundary (between step() calls), where the
+  /// per-cycle transients — router input registers, ejection lists,
+  /// channel arrival registers — are empty by the cycle protocol.
+  /// The workload is NOT included (it is external; see
+  /// WorkloadModel::save_state).
+  void save(SnapshotWriter& w) const;
+
+  /// Restores state saved by save() into this network.  The target must
+  /// have been constructed from a structurally identical configuration
+  /// (same mesh, design, buffer sizing, fault plans, seed, stats
+  /// windows); only workload-level fields (offered_load, warmup_load,
+  /// pattern, drain cap) may differ.  Throws SnapshotError on
+  /// fingerprint mismatch or a corrupt stream.
+  void load(SnapshotReader& r);
+
+  /// Convenience wrappers: a complete standalone snapshot byte stream.
+  [[nodiscard]] std::vector<std::uint8_t> snapshot() const;
+  void restore(const std::vector<std::uint8_t>& bytes);
 
   // --- global accounting (whole run, not just the window) ---------------
   [[nodiscard]] std::uint64_t flits_created() const noexcept {

@@ -2,22 +2,26 @@
 
 namespace dxbar {
 
-namespace {
-
-/// Shared body of the open-loop runners.
-RunStats open_loop_impl(const SimConfig& cfg, WorkloadModel& workload,
-                        std::vector<PacketRecord>* packets_out) {
-  Network net(cfg);
-  net.set_workload(&workload);
-  net.energy().set_enabled(false);
-
+void advance_open_loop(Network& net, Cycle until) {
+  const SimConfig& cfg = net.config();
   const Cycle warmup = cfg.warmup_cycles;
   const Cycle measure_end = warmup + cfg.measure_cycles;
+  if (until > measure_end) until = measure_end;
 
-  for (Cycle t = 0; t < measure_end; ++t) {
-    if (t == warmup) net.energy().set_enabled(true);
+  // Energy accumulates only inside the measurement window; deriving the
+  // gate from the clock makes the call position-independent, so a
+  // restored network resumes with the exact setting the straight run had.
+  net.energy().set_enabled(net.now() >= warmup && net.now() < measure_end);
+  while (net.now() < until) {
+    if (net.now() == warmup) net.energy().set_enabled(true);
     net.step();
   }
+}
+
+RunStats finish_open_loop(Network& net, WorkloadModel& workload,
+                          std::vector<PacketRecord>* packets_out) {
+  const SimConfig& cfg = net.config();
+  advance_open_loop(net, cfg.warmup_cycles + cfg.measure_cycles);
   net.energy().set_enabled(false);
   workload.set_injection_enabled(false);
 
@@ -39,6 +43,16 @@ RunStats open_loop_impl(const SimConfig& cfg, WorkloadModel& workload,
   out.energy_control_nj = net.energy().control_nj();
   if (packets_out != nullptr) *packets_out = net.stats().window_packets();
   return out;
+}
+
+namespace {
+
+/// Shared body of the open-loop runners.
+RunStats open_loop_impl(const SimConfig& cfg, WorkloadModel& workload,
+                        std::vector<PacketRecord>* packets_out) {
+  Network net(cfg);
+  net.set_workload(&workload);
+  return finish_open_loop(net, workload, packets_out);
 }
 
 }  // namespace

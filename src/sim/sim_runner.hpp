@@ -24,6 +24,23 @@ RunStats run_open_loop(const SimConfig& cfg);
 /// trace replay).  The workload must honour set_injection_enabled.
 RunStats run_open_loop(const SimConfig& cfg, WorkloadModel& workload);
 
+/// Steps `net` forward to cycle `until` (capped at the end of the
+/// measurement window), flipping the energy meter on at the warmup
+/// boundary.  The energy gate is re-derived from the clock on entry, so
+/// calling this on a network restored from a snapshot reproduces the
+/// straight-through run exactly.  The building block behind warm-start
+/// sweeps and resumable campaigns.
+void advance_open_loop(Network& net, Cycle until);
+
+/// Completes an open-loop run from the network's current cycle:
+/// advances to the end of the measurement window, disables energy and
+/// injection, drains (up to cfg.drain_cycles), and summarizes.
+/// `workload` must be the workload attached to `net`.  Equivalent to
+/// the tail of run_open_loop, so a warmup snapshot + finish_open_loop
+/// is bit-identical to a cold run.
+RunStats finish_open_loop(Network& net, WorkloadModel& workload,
+                          std::vector<PacketRecord>* packets_out = nullptr);
+
 /// Open-loop run that also returns the per-packet records of the
 /// measurement window (for per-node fairness analysis, latency
 /// distributions, custom post-processing).

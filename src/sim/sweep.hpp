@@ -18,6 +18,21 @@ namespace dxbar {
 std::vector<RunStats> run_sweep(const std::vector<SimConfig>& configs,
                                 unsigned threads = 0);
 
+/// Like run_sweep, but configs that differ only in workload-level fields
+/// (offered_load, drain cap) and carry an explicit warmup_load share ONE
+/// warmup execution: the group's network is advanced to the warmup
+/// boundary once, snapshotted, and every member's measurement phase is
+/// forked from the snapshot bytes.  Because SyntheticWorkload injects at
+/// warmup_load until the warmup boundary and consumes exactly one RNG
+/// draw per node per cycle regardless of the rate, the fork is
+/// bit-identical to the cold run of each member — run_warm_sweep and
+/// run_sweep return byte-for-byte equal RunStats.
+///
+/// Configs with warmup_load unset (< 0) or warmup_cycles == 0 fall back
+/// to cold runs inside the same call.
+std::vector<RunStats> run_warm_sweep(const std::vector<SimConfig>& configs,
+                                     unsigned threads = 0);
+
 /// Generic parallel map over an index range [0, n): `fn(i)` must be
 /// thread-safe and is invoked exactly once per index.  Work is claimed
 /// in small chunks off a shared atomic counter (work stealing), so

@@ -1,0 +1,137 @@
+#include "snapshot/serialize.hpp"
+
+namespace dxbar {
+
+void save_run_stats(SnapshotWriter& w, const RunStats& s) {
+  w.f64(s.offered_load);
+  w.f64(s.accepted_load);
+  w.f64(s.accepted_load_stddev);
+  w.f64(s.avg_packet_latency);
+  w.f64(s.avg_network_latency);
+  w.f64(s.latency_p50);
+  w.f64(s.latency_p95);
+  w.f64(s.latency_p99);
+  w.f64(s.latency_max);
+  w.f64(s.avg_hops);
+  w.f64(s.deflections_per_flit);
+  w.f64(s.retransmits_per_flit);
+  w.u64(s.packets_completed);
+  w.u64(s.flits_ejected);
+  w.u64(s.flits_injected);
+  w.u64(s.cycles);
+  w.i32(s.packet_length);
+  w.boolean(s.drained);
+  w.f64(s.energy_buffer_nj);
+  w.f64(s.energy_crossbar_nj);
+  w.f64(s.energy_link_nj);
+  w.f64(s.energy_control_nj);
+}
+
+RunStats load_run_stats(SnapshotReader& r) {
+  RunStats s;
+  s.offered_load = r.f64();
+  s.accepted_load = r.f64();
+  s.accepted_load_stddev = r.f64();
+  s.avg_packet_latency = r.f64();
+  s.avg_network_latency = r.f64();
+  s.latency_p50 = r.f64();
+  s.latency_p95 = r.f64();
+  s.latency_p99 = r.f64();
+  s.latency_max = r.f64();
+  s.avg_hops = r.f64();
+  s.deflections_per_flit = r.f64();
+  s.retransmits_per_flit = r.f64();
+  s.packets_completed = r.u64();
+  s.flits_ejected = r.u64();
+  s.flits_injected = r.u64();
+  s.cycles = r.u64();
+  s.packet_length = r.i32();
+  s.drained = r.boolean();
+  s.energy_buffer_nj = r.f64();
+  s.energy_crossbar_nj = r.f64();
+  s.energy_link_nj = r.f64();
+  s.energy_control_nj = r.f64();
+  return s;
+}
+
+void save_config(SnapshotWriter& w, const SimConfig& cfg) {
+  w.i32(cfg.mesh_width);
+  w.i32(cfg.mesh_height);
+  w.boolean(cfg.torus);
+  w.u8(static_cast<std::uint8_t>(cfg.design));
+  w.u8(static_cast<std::uint8_t>(cfg.routing));
+  w.i32(cfg.buffer_depth);
+  w.i32(cfg.fairness_threshold);
+  w.i32(cfg.stall_escape_delay);
+  w.i32(cfg.num_vcs);
+  w.i32(cfg.source_queue_depth);
+  w.i32(cfg.retransmit_buffer);
+  w.u8(static_cast<std::uint8_t>(cfg.pattern));
+  w.f64(cfg.offered_load);
+  w.f64(cfg.warmup_load);
+  w.i32(cfg.packet_length);
+  w.i32(cfg.flit_bits);
+  w.u64(cfg.warmup_cycles);
+  w.u64(cfg.measure_cycles);
+  w.u64(cfg.drain_cycles);
+  w.f64(cfg.fault_fraction);
+  w.u64(cfg.fault_detect_delay);
+  w.u64(cfg.fault_onset_spread);
+  w.f64(cfg.link_fault_fraction);
+  w.u64(cfg.seed);
+}
+
+SimConfig load_config(SnapshotReader& r) {
+  SimConfig cfg;
+  cfg.mesh_width = r.i32();
+  cfg.mesh_height = r.i32();
+  cfg.torus = r.boolean();
+  cfg.design = static_cast<RouterDesign>(r.u8());
+  cfg.routing = static_cast<RoutingAlgo>(r.u8());
+  cfg.buffer_depth = r.i32();
+  cfg.fairness_threshold = r.i32();
+  cfg.stall_escape_delay = r.i32();
+  cfg.num_vcs = r.i32();
+  cfg.source_queue_depth = r.i32();
+  cfg.retransmit_buffer = r.i32();
+  cfg.pattern = static_cast<TrafficPattern>(r.u8());
+  cfg.offered_load = r.f64();
+  cfg.warmup_load = r.f64();
+  cfg.packet_length = r.i32();
+  cfg.flit_bits = r.i32();
+  cfg.warmup_cycles = r.u64();
+  cfg.measure_cycles = r.u64();
+  cfg.drain_cycles = r.u64();
+  cfg.fault_fraction = r.f64();
+  cfg.fault_detect_delay = r.u64();
+  cfg.fault_onset_spread = r.u64();
+  cfg.link_fault_fraction = r.f64();
+  cfg.seed = r.u64();
+  return cfg;
+}
+
+std::uint64_t structural_fingerprint(const SimConfig& cfg) {
+  SnapshotWriter w;
+  w.i32(cfg.mesh_width);
+  w.i32(cfg.mesh_height);
+  w.boolean(cfg.torus);
+  w.u8(static_cast<std::uint8_t>(cfg.design));
+  w.u8(static_cast<std::uint8_t>(cfg.routing));
+  w.i32(cfg.buffer_depth);
+  w.i32(cfg.fairness_threshold);
+  w.i32(cfg.stall_escape_delay);
+  w.i32(cfg.num_vcs);
+  w.i32(cfg.retransmit_buffer);
+  w.i32(cfg.packet_length);
+  w.i32(cfg.flit_bits);
+  w.u64(cfg.warmup_cycles);
+  w.u64(cfg.measure_cycles);
+  w.f64(cfg.fault_fraction);
+  w.u64(cfg.fault_detect_delay);
+  w.u64(cfg.fault_onset_spread);
+  w.f64(cfg.link_fault_fraction);
+  w.u64(cfg.seed);
+  return fnv1a(w.data().data(), w.data().size());
+}
+
+}  // namespace dxbar

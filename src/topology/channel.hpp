@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/flit.hpp"
+#include "snapshot/serialize.hpp"
 
 namespace dxbar {
 
@@ -202,6 +203,46 @@ class Channel {
 
   /// The network delists a quiescent channel during its sweep.
   void mark_delisted() noexcept { listed_ = false; }
+
+  // ---- snapshot protocol ----------------------------------------------
+
+  void save(SnapshotWriter& w) const {
+    w.i32(credits_);
+    w.i32(pending_credits_);
+    w.u64(vc_credits_.size());
+    for (int c : vc_credits_) w.i32(c);
+    for (int c : vc_pending_) w.i32(c);
+    w.u64(total_sends_);
+    w.boolean(stop_);
+    w.boolean(stop_pending_);
+    save_optional_flit(w, staged_);
+    save_optional_flit(w, in_flight_);
+    save_optional_flit(w, arrived_);
+  }
+
+  /// Restores the channel's mutable state.  The caller must have cleared
+  /// the owning active list first: load drops the listed flag and
+  /// re-registers iff the restored state is non-quiescent, so the active
+  /// list is rebuilt consistently (order is immaterial — channels are
+  /// mutually independent and the sweep visits every listed channel).
+  void load(SnapshotReader& r) {
+    credits_ = r.i32();
+    pending_credits_ = r.i32();
+    const std::uint64_t nvc = r.count(4);
+    if (nvc != vc_credits_.size()) {
+      throw SnapshotError("channel VC count mismatch");
+    }
+    for (int& c : vc_credits_) c = r.i32();
+    for (int& c : vc_pending_) c = r.i32();
+    total_sends_ = r.u64();
+    stop_ = r.boolean();
+    stop_pending_ = r.boolean();
+    staged_ = load_optional_flit(r);
+    in_flight_ = load_optional_flit(r);
+    arrived_ = load_optional_flit(r);
+    listed_ = false;
+    if (!quiescent()) touch();
+  }
 
  private:
   void touch() {

@@ -43,6 +43,18 @@ class TraceWorkload final : public WorkloadModel {
   }
   void set_injection_enabled(bool on) override { enabled_ = on; }
 
+  // Snapshot protocol: the replay cursor (the entry list itself is
+  // configuration the caller reconstructs).
+  [[nodiscard]] bool snapshot_supported() const override { return true; }
+  void save_state(SnapshotWriter& w) const override {
+    w.u64(next_);
+    w.boolean(enabled_);
+  }
+  void load_state(SnapshotReader& r) override {
+    next_ = r.u64();
+    enabled_ = r.boolean();
+  }
+
  private:
   std::vector<TraceEntry> entries_;
   std::size_t next_ = 0;

@@ -7,14 +7,19 @@ SyntheticWorkload::SyntheticWorkload(const SimConfig& cfg, const Mesh& mesh)
       pattern_(cfg.pattern),
       packet_probability_(cfg.offered_load /
                           static_cast<double>(cfg.packet_length)),
+      warmup_probability_(
+          (cfg.warmup_load >= 0.0 ? cfg.warmup_load : cfg.offered_load) /
+          static_cast<double>(cfg.packet_length)),
+      warmup_end_(cfg.warmup_cycles),
       packet_length_(cfg.packet_length),
       rng_(cfg.seed ^ 0x7AFF1CULL) {}
 
 void SyntheticWorkload::begin_cycle(Cycle now, Injector& inject) {
   if (!enabled_) return;
+  const double p = now < warmup_end_ ? warmup_probability_ : packet_probability_;
   const int n = mesh_.num_nodes();
   for (NodeId src = 0; src < static_cast<NodeId>(n); ++src) {
-    if (!rng_.bernoulli(packet_probability_)) continue;
+    if (!rng_.bernoulli(p)) continue;
     const NodeId dst = pattern_destination(pattern_, mesh_, src, rng_);
     if (dst == src) continue;  // fixed point of a permutation pattern
     inject.inject_packet(src, dst, packet_length_, now);

@@ -9,6 +9,7 @@
 #include "common/config.hpp"
 #include "common/flit.hpp"
 #include "common/rng.hpp"
+#include "snapshot/snapshot.hpp"
 #include "topology/mesh.hpp"
 #include "traffic/patterns.hpp"
 
@@ -44,12 +45,35 @@ class WorkloadModel {
   /// Open-loop drain control: the runner disables injection after the
   /// measurement window.
   virtual void set_injection_enabled(bool on) { (void)on; }
+
+  // ---- snapshot protocol ----------------------------------------------
+  //
+  // A snapshotable workload serializes its cursor (RNG stream position,
+  // trace index, enable flag) so a restored network resumes with the
+  // exact injection sequence of an uninterrupted run.  Workloads with
+  // state the snapshot format does not cover (the SPLASH closed-loop
+  // machine) keep the throwing defaults.
+
+  [[nodiscard]] virtual bool snapshot_supported() const { return false; }
+  virtual void save_state(SnapshotWriter& w) const {
+    (void)w;
+    throw SnapshotError("workload does not support snapshots");
+  }
+  virtual void load_state(SnapshotReader& r) {
+    (void)r;
+    throw SnapshotError("workload does not support snapshots");
+  }
 };
 
 /// Bernoulli open-loop injection of one of the nine synthetic patterns.
 /// Each node independently starts a packet with probability
 /// offered_load / packet_length per cycle, so the offered *flit* rate
-/// per node equals the configured load.
+/// per node equals the configured load.  During the warmup phase the
+/// probability is derived from cfg.warmup_load instead when that is set
+/// (>= 0): every Bernoulli trial consumes exactly one RNG draw whatever
+/// its probability, so runs that share the warmup rate draw identical
+/// streams through warmup regardless of their measurement load — the
+/// property warm-start sweeps rely on.
 class SyntheticWorkload final : public WorkloadModel {
  public:
   SyntheticWorkload(const SimConfig& cfg, const Mesh& mesh);
@@ -57,10 +81,22 @@ class SyntheticWorkload final : public WorkloadModel {
   void begin_cycle(Cycle now, Injector& inject) override;
   void set_injection_enabled(bool on) override { enabled_ = on; }
 
+  [[nodiscard]] bool snapshot_supported() const override { return true; }
+  void save_state(SnapshotWriter& w) const override {
+    rng_.save(w);
+    w.boolean(enabled_);
+  }
+  void load_state(SnapshotReader& r) override {
+    rng_.load(r);
+    enabled_ = r.boolean();
+  }
+
  private:
   const Mesh& mesh_;
   TrafficPattern pattern_;
   double packet_probability_;
+  double warmup_probability_;
+  Cycle warmup_end_;
   int packet_length_;
   Rng rng_;
   bool enabled_ = true;

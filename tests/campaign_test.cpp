@@ -1,0 +1,210 @@
+// Crash-resumable campaign runner tests.
+//
+// The contract under test: a campaign interrupted at arbitrary points
+// (budget pauses model SIGKILL — no extra checkpoint is written) and
+// resumed by fresh Campaign instances produces results bit-identical to
+// an uninterrupted run, and damaged persistence (torn result tail,
+// corrupt or stale checkpoint) degrades to recomputation, never to
+// wrong numbers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/dxbar.hpp"
+
+namespace dxbar {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::uint8_t> stats_bytes(const RunStats& s) {
+  SnapshotWriter w;
+  save_run_stats(w, s);
+  return w.take();
+}
+
+std::vector<SimConfig> tiny_points() {
+  std::vector<SimConfig> points;
+  for (RouterDesign d : {RouterDesign::DXbar, RouterDesign::FlitBless}) {
+    for (double load : {0.10, 0.25}) {
+      SimConfig cfg;
+      cfg.mesh_width = 4;
+      cfg.mesh_height = 4;
+      cfg.design = d;
+      cfg.pattern = TrafficPattern::UniformRandom;
+      cfg.offered_load = load;
+      cfg.warmup_cycles = 150;
+      cfg.measure_cycles = 200;
+      points.push_back(cfg);
+    }
+  }
+  return points;
+}
+
+/// Fresh scratch directory under the gtest temp root.
+std::string scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("campaign_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+void expect_same_results(const Campaign& a, const Campaign& b) {
+  const auto& ra = a.results();
+  const auto& rb = b.results();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    ASSERT_TRUE(ra[i].has_value()) << "point " << i;
+    ASSERT_TRUE(rb[i].has_value()) << "point " << i;
+    EXPECT_EQ(stats_bytes(*ra[i]), stats_bytes(*rb[i])) << "point " << i;
+  }
+}
+
+TEST(Campaign, UninterruptedRunCompletesAndMatchesOpenLoop) {
+  const auto points = tiny_points();
+  Campaign campaign(points, scratch_dir("straight"), 100);
+  const CampaignStatus st = campaign.run();
+  EXPECT_TRUE(st.finished);
+  EXPECT_EQ(st.completed, points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(campaign.results()[i].has_value());
+    EXPECT_EQ(stats_bytes(*campaign.results()[i]),
+              stats_bytes(run_open_loop(points[i])))
+        << "point " << i;
+  }
+}
+
+TEST(Campaign, BudgetSlicedCrashResumeIsBitExact) {
+  const auto points = tiny_points();
+
+  const std::string ref_dir = scratch_dir("crash_ref");
+  Campaign reference(points, ref_dir, 100);
+  ASSERT_TRUE(reference.run().finished);
+
+  // Simulate a batch queue that SIGKILLs the job every ~300 simulated
+  // cycles: each slice is a FRESH Campaign instance (no carried state),
+  // and budget pauses deliberately skip the courtesy checkpoint, so
+  // every resume goes through the real crash-recovery path.
+  const std::string dir = scratch_dir("crash_sliced");
+  bool finished = false;
+  int slices = 0;
+  while (!finished) {
+    ASSERT_LT(++slices, 200) << "campaign failed to make progress";
+    Campaign slice(points, dir, 100);
+    finished = slice.run(300).finished;
+  }
+  EXPECT_GT(slices, 2) << "budget too generous to exercise resume";
+
+  Campaign done(points, dir, 100);
+  EXPECT_TRUE(done.status().finished);
+  expect_same_results(done, reference);
+
+  // The persisted artifacts themselves must agree byte-for-byte.
+  std::ifstream fa(fs::path(ref_dir) / "results.bin", std::ios::binary);
+  std::ifstream fb(fs::path(dir) / "results.bin", std::ios::binary);
+  const std::string ba((std::istreambuf_iterator<char>(fa)), {});
+  const std::string bb((std::istreambuf_iterator<char>(fb)), {});
+  EXPECT_EQ(ba, bb);
+}
+
+TEST(Campaign, SameInstanceResumesAfterBudgetPause) {
+  const auto points = tiny_points();
+  Campaign reference(points, scratch_dir("same_ref"), 100);
+  ASSERT_TRUE(reference.run().finished);
+
+  Campaign campaign(points, scratch_dir("same_inst"), 100);
+  int calls = 0;
+  while (!campaign.run(400).finished) {
+    ASSERT_LT(++calls, 200);
+  }
+  expect_same_results(campaign, reference);
+}
+
+TEST(Campaign, FreshInstanceSeesPersistedCompletion) {
+  const auto points = tiny_points();
+  const std::string dir = scratch_dir("reopen");
+  {
+    Campaign campaign(points, dir, 100);
+    ASSERT_TRUE(campaign.run().finished);
+  }
+  Campaign reopened(points, dir, 100);
+  // status() alone must report completion — no simulation needed.
+  EXPECT_TRUE(reopened.status().finished);
+  EXPECT_EQ(reopened.status().completed, points.size());
+  for (const auto& r : reopened.results()) EXPECT_TRUE(r.has_value());
+}
+
+TEST(Campaign, TornResultTailIsDroppedAndRecomputed) {
+  const auto points = tiny_points();
+  const std::string dir = scratch_dir("torn");
+  {
+    Campaign campaign(points, dir, 100);
+    ASSERT_TRUE(campaign.run().finished);
+  }
+
+  // A crash mid-append leaves a half-written final frame: model it by
+  // chopping a few bytes off the end of results.bin.
+  const fs::path results = fs::path(dir) / "results.bin";
+  const auto size = fs::file_size(results);
+  fs::resize_file(results, size - 5);
+
+  Campaign damaged(points, dir, 100);
+  const CampaignStatus before = damaged.status();
+  EXPECT_FALSE(before.finished);
+  EXPECT_EQ(before.completed, points.size() - 1);  // only the tail is lost
+
+  ASSERT_TRUE(damaged.run().finished);
+  Campaign reference(points, scratch_dir("torn_ref"), 100);
+  ASSERT_TRUE(reference.run().finished);
+  expect_same_results(damaged, reference);
+}
+
+TEST(Campaign, CorruptCheckpointFallsBackToColdStart) {
+  const auto points = tiny_points();
+  const std::string dir = scratch_dir("corrupt_ckpt");
+  {
+    Campaign campaign(points, dir, 100);
+    campaign.run(300);  // pause mid-point, checkpoint on disk
+  }
+  const fs::path ckpt = fs::path(dir) / "checkpoint.bin";
+  ASSERT_TRUE(fs::exists(ckpt));
+  {
+    // Scribble over the middle of the checkpoint.
+    std::fstream f(ckpt, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(fs::file_size(ckpt) / 2));
+    const char junk[8] = {0x5A, 0x5A, 0x5A, 0x5A, 0x5A, 0x5A, 0x5A, 0x5A};
+    f.write(junk, sizeof junk);
+  }
+
+  Campaign damaged(points, dir, 100);
+  ASSERT_TRUE(damaged.run().finished);
+  Campaign reference(points, scratch_dir("corrupt_ref"), 100);
+  ASSERT_TRUE(reference.run().finished);
+  expect_same_results(damaged, reference);
+}
+
+TEST(Campaign, CheckpointFromDifferentCampaignIsIgnored) {
+  const auto points = tiny_points();
+  const std::string dir = scratch_dir("foreign_ckpt");
+  {
+    Campaign campaign(points, dir, 100);
+    campaign.run(300);  // leaves a checkpoint for THIS point list
+  }
+  // Re-open the directory with a different point list (different seed →
+  // different fingerprint): the stale checkpoint must not be restored.
+  auto other_points = tiny_points();
+  for (auto& p : other_points) p.seed = 77;
+  Campaign other(other_points, dir, 100);
+  ASSERT_TRUE(other.run().finished);
+
+  Campaign reference(other_points, scratch_dir("foreign_ref"), 100);
+  ASSERT_TRUE(reference.run().finished);
+  expect_same_results(other, reference);
+}
+
+}  // namespace
+}  // namespace dxbar

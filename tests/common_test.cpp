@@ -73,7 +73,7 @@ TEST(FixedQueue, FifoOrder) {
   EXPECT_TRUE(q.push(2));
   EXPECT_TRUE(q.push(3));
   EXPECT_TRUE(q.full());
-  EXPECT_FALSE(q.push(4));  // overflow rejected, nothing lost
+  EXPECT_FALSE(q.try_push(4));  // overflow rejected, nothing lost
   EXPECT_EQ(q.pop(), 1);
   EXPECT_TRUE(q.push(4));
   EXPECT_EQ(q.pop(), 2);
@@ -81,6 +81,31 @@ TEST(FixedQueue, FifoOrder) {
   EXPECT_EQ(q.pop(), 4);
   EXPECT_TRUE(q.empty());
 }
+
+TEST(FixedQueue, TryPushProbesWithoutAsserting) {
+  FixedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.front(), 1);
+}
+
+#if defined(GTEST_HAS_DEATH_TEST) && !defined(NDEBUG)
+// push() (unlike try_push) promises space exists; violating that is a
+// programming error that must be caught loudly in debug builds instead
+// of silently truncating traffic.
+TEST(FixedQueueDeathTest, PushToFullAsserts) {
+  FixedQueue<int> q(1);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_DEATH((void)q.push(2), "full");
+}
+
+TEST(FixedQueueDeathTest, PopFromEmptyAsserts) {
+  FixedQueue<int> q(1);
+  EXPECT_DEATH((void)q.pop(), "empty");
+}
+#endif
 
 TEST(FixedQueue, WrapsAroundManyTimes) {
   FixedQueue<int> q(4);
