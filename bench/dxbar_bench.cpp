@@ -1,0 +1,117 @@
+// dxbar_bench — the one driver for every figure, table and ablation of
+// the paper reproduction.
+//
+//   dxbar_bench --list                 # what exists, with paper shapes
+//   dxbar_bench fig5 [--quick]         # run one experiment
+//   dxbar_bench --all --quick          # smoke-run everything
+//   dxbar_bench fig5 --json out/ --csv out/   # machine-readable outputs
+//   dxbar_bench fig5 --resume camp/    # crash-resumable campaign
+//   dxbar_bench fig5 warmup_cycles=500 seed=7  # config overrides
+//
+// Overrides always win over --quick, regardless of argument order.
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "exp/registry.hpp"
+#include "exp/runner.hpp"
+
+using namespace dxbar;
+using namespace dxbar::exp;
+
+namespace {
+
+void print_usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: dxbar_bench --list\n"
+      "       dxbar_bench <experiment>... [options] [key=value...]\n"
+      "       dxbar_bench --all [options] [key=value...]\n"
+      "\n"
+      "options:\n"
+      "  --list          list registered experiments and exit\n"
+      "  --all           run every registered experiment\n"
+      "  --quick         ~4x shorter phase windows (smoke runs)\n"
+      "  --threads N     worker threads (0 = hardware concurrency)\n"
+      "  --csv DIR       mirror every table to DIR/<exp>_<title>.csv\n"
+      "  --json DIR      write DIR/<exp>.json (schema v%d)\n"
+      "  --resume DIR    run grids as crash-resumable campaigns in DIR\n"
+      "  key=value       SimConfig override (applied after --quick;\n"
+      "                  overrides always win regardless of order)\n",
+      kJsonSchemaVersion);
+}
+
+void print_list() {
+  for (const Experiment* e : Registry::instance().all()) {
+    std::printf("%-28s %s\n", e->name.c_str(), e->title.c_str());
+    if (!e->paper_shape.empty()) {
+      std::printf("%-28s   expected: %s\n", "", e->paper_shape.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(std::span<const char* const>(
+      argv + 1, static_cast<std::size_t>(argc - 1)));
+  if (!args.error.empty()) {
+    std::fprintf(stderr, "dxbar_bench: %s\n\n", args.error.c_str());
+    print_usage(stderr);
+    return 2;
+  }
+  if (args.list) {
+    print_list();
+    return 0;
+  }
+
+  std::vector<const Experiment*> to_run;
+  if (args.all) {
+    to_run = Registry::instance().all();
+  } else {
+    for (const std::string& name : args.experiments) {
+      const Experiment* e = Registry::instance().find(name);
+      if (e == nullptr) {
+        std::fprintf(stderr,
+                     "dxbar_bench: unknown experiment '%s' (see --list)\n",
+                     name.c_str());
+        return 2;
+      }
+      to_run.push_back(e);
+    }
+  }
+  if (to_run.empty()) {
+    print_usage(stderr);
+    return 2;
+  }
+
+  RunOptions opt;
+  opt.quick = args.quick;
+  opt.threads = args.threads;
+  opt.csv_dir = args.csv_dir;
+  opt.json_dir = args.json_dir;
+  opt.resume_dir = args.resume_dir;
+  opt.overrides = args.overrides;
+  const std::string cfg_err = make_base_config(args, opt.base);
+  if (!cfg_err.empty()) {
+    std::fprintf(stderr, "dxbar_bench: %s\n", cfg_err.c_str());
+    return 2;
+  }
+
+  int rc = 0;
+  std::vector<std::string> used_csv_names;
+  for (const Experiment* e : to_run) {
+    const ExperimentResult result = execute(*e, opt);
+    print_result(result);
+    if (result.exit_code != 0 && rc == 0) rc = result.exit_code;
+    if (!opt.csv_dir.empty() &&
+        !write_csv_tables(*e, result, opt.csv_dir, used_csv_names)) {
+      rc = 1;
+    }
+    if (!opt.json_dir.empty() && !write_json_result(*e, result, opt)) {
+      rc = 1;
+    }
+  }
+  return rc;
+}

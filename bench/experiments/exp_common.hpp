@@ -1,0 +1,48 @@
+// Shared vocabulary for the experiment registrations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dxbar.hpp"
+#include "exp/registry.hpp"
+#include "exp/runner.hpp"
+
+namespace dxbar::bench {
+
+using exp::Experiment;
+using exp::ExperimentResult;
+using exp::Registration;
+using exp::RunContext;
+using exp::Table;
+using exp::fmt;
+
+/// The six designs of the paper's synthetic-traffic figures, in legend
+/// order.  DXbar appears twice (DOR and WF variants).
+struct DesignVariant {
+  const char* label;
+  RouterDesign design;
+  RoutingAlgo routing;
+};
+
+inline const std::vector<DesignVariant>& figure_designs() {
+  static const std::vector<DesignVariant> v = {
+      {"Flit-Bless", RouterDesign::FlitBless, RoutingAlgo::DOR},
+      {"SCARAB", RouterDesign::Scarab, RoutingAlgo::DOR},
+      {"Buffered 4", RouterDesign::Buffered4, RoutingAlgo::DOR},
+      {"Buffered 8", RouterDesign::Buffered8, RoutingAlgo::DOR},
+      {"DXbar DOR", RouterDesign::DXbar, RoutingAlgo::DOR},
+      {"DXbar WF", RouterDesign::DXbar, RoutingAlgo::WestFirst},
+      {"Unified DOR", RouterDesign::UnifiedXbar, RoutingAlgo::DOR},
+  };
+  return v;
+}
+
+/// The load axis of the throughput/energy figures: 0.1 .. 0.9 step 0.1.
+inline std::vector<double> figure_loads(double step = 0.1) {
+  std::vector<double> loads;
+  for (double l = 0.1; l <= 0.9 + 1e-9; l += step) loads.push_back(l);
+  return loads;
+}
+
+}  // namespace dxbar::bench

@@ -1,0 +1,74 @@
+// Figure 10 — network energy per packet for the nine SPLASH-2 workloads
+// (coherence-traffic substitute), same closed-loop methodology as Fig 9.
+#include "exp_common.hpp"
+#include "traffic/splash.hpp"
+
+namespace dxbar::bench {
+namespace {
+
+const Registration reg(Experiment{
+    .name = "fig10",
+    .title = "Figure 10: SPLASH-2 energy per packet (closed loop)",
+    .paper_shape =
+        "Flit-Bless consumes far more energy than DXbar (the paper "
+        "reports >=16x) and SCARAB >=2x; DXbar is the most frugal",
+    .run =
+        [](const RunContext& ctx) {
+          std::vector<SplashProfile> apps = splash_profiles();
+          if (ctx.quick) {
+            for (auto& a : apps) a.transactions_per_node = 30;
+          }
+
+          std::vector<std::pair<SimConfig, const SplashProfile*>> jobs;
+          for (const DesignVariant& dv : figure_designs()) {
+            for (const SplashProfile& app : apps) {
+              SimConfig c = ctx.base;
+              c.design = dv.design;
+              c.routing = dv.routing;
+              jobs.emplace_back(c, &app);
+            }
+          }
+
+          std::vector<ClosedLoopResult> results(jobs.size());
+          parallel_for(
+              jobs.size(),
+              [&](std::size_t i) {
+                results[i] =
+                    run_splash(jobs[i].first, *jobs[i].second, 2'000'000);
+              },
+              ctx.threads);
+
+          Table t;
+          t.title =
+              "Figure 10: energy per packet (nJ), SPLASH-2 substitute";
+          t.x_label = "app";
+          t.fmt = "%10.3f";
+          for (const auto& app : apps) t.x.emplace_back(app.name);
+          for (std::size_t s = 0; s < figure_designs().size(); ++s) {
+            t.series_labels.emplace_back(figure_designs()[s].label);
+            std::vector<double> col;
+            for (std::size_t a = 0; a < apps.size(); ++a) {
+              col.push_back(results[s * apps.size() + a].energy_per_packet_nj);
+            }
+            t.values.push_back(std::move(col));
+          }
+
+          ExperimentResult r;
+          r.add_table(t);
+          // Ratios versus DXbar DOR (series index 4).
+          const std::size_t dxbar = 4;
+          r.addf("\nMean energy ratio vs DXbar DOR:\n");
+          for (std::size_t s = 0; s < t.series_labels.size(); ++s) {
+            double ratio = 0;
+            for (std::size_t a = 0; a < apps.size(); ++a) {
+              ratio += t.values[s][a] / t.values[dxbar][a];
+            }
+            r.addf("  %-12s %.2fx\n", t.series_labels[s].c_str(),
+                   ratio / static_cast<double>(apps.size()));
+          }
+          return r;
+        },
+});
+
+}  // namespace
+}  // namespace dxbar::bench

@@ -1,0 +1,61 @@
+// Figure 6 — average energy per packet (nJ) vs offered load under
+// Uniform Random traffic.
+#include "exp_common.hpp"
+
+namespace dxbar::bench {
+namespace {
+
+const Registration reg(Experiment{
+    .name = "fig6",
+    .title = "Figure 6: energy per packet vs offered load, UR 8x8",
+    .paper_shape =
+        "DXbar's energy stays nearly flat across loads; Flit-Bless rises "
+        "~3x and SCARAB ~2x past their saturation points; the buffered "
+        "routers sit in between, Buffered 8 above Buffered 4",
+    .grid =
+        [](const RunContext& ctx) {
+          std::vector<SimConfig> cfgs;
+          for (const DesignVariant& dv : figure_designs()) {
+            for (double l : figure_loads()) {
+              SimConfig c = ctx.base;
+              c.pattern = TrafficPattern::UniformRandom;
+              c.design = dv.design;
+              c.routing = dv.routing;
+              c.offered_load = l;
+              cfgs.push_back(c);
+            }
+          }
+          return cfgs;
+        },
+    .reduce =
+        [](const RunContext&, const std::vector<RunStats>& stats) {
+          const std::vector<double> loads = figure_loads();
+          Table t;
+          t.title = "Figure 6: average energy per packet (nJ) vs offered "
+                    "load, UR 8x8";
+          t.x_label = "offered";
+          t.fmt = "%10.3f";
+          for (double l : loads) t.x.push_back(fmt(l, "%.1f"));
+          for (std::size_t s = 0; s < figure_designs().size(); ++s) {
+            t.series_labels.emplace_back(figure_designs()[s].label);
+            std::vector<double> col;
+            for (std::size_t i = 0; i < loads.size(); ++i) {
+              col.push_back(
+                  stats[s * loads.size() + i].energy_per_packet_nj());
+            }
+            t.values.push_back(std::move(col));
+          }
+
+          ExperimentResult r;
+          r.add_table(t);
+          r.addf("\nEnergy growth (load 0.9 vs load 0.1):\n");
+          for (std::size_t s = 0; s < t.series_labels.size(); ++s) {
+            r.addf("  %-12s %.2fx\n", t.series_labels[s].c_str(),
+                   t.values[s].back() / t.values[s].front());
+          }
+          return r;
+        },
+});
+
+}  // namespace
+}  // namespace dxbar::bench

@@ -1,0 +1,62 @@
+// Figure 8 — energy per packet at offered load 0.5 across all nine
+// synthetic traffic patterns.
+#include "exp_common.hpp"
+
+namespace dxbar::bench {
+namespace {
+
+const Registration reg(Experiment{
+    .name = "fig8",
+    .title = "Figure 8: energy per packet at offered 0.5, all patterns",
+    .paper_shape =
+        "DXbar uses the least power, Flit-Bless the most, SCARAB second, "
+        "the generic buffered routers in between",
+    .grid =
+        [](const RunContext& ctx) {
+          std::vector<SimConfig> cfgs;
+          for (const DesignVariant& dv : figure_designs()) {
+            for (TrafficPattern p : kAllPatterns) {
+              SimConfig c = ctx.base;
+              c.pattern = p;
+              c.design = dv.design;
+              c.routing = dv.routing;
+              c.offered_load = 0.5;
+              cfgs.push_back(c);
+            }
+          }
+          return cfgs;
+        },
+    .reduce =
+        [](const RunContext&, const std::vector<RunStats>& stats) {
+          Table t;
+          t.title = "Figure 8: energy per packet (nJ) at offered load 0.5, "
+                    "all patterns";
+          t.x_label = "pattern";
+          t.fmt = "%10.3f";
+          for (TrafficPattern p : kAllPatterns) t.x.emplace_back(to_string(p));
+          for (std::size_t s = 0; s < figure_designs().size(); ++s) {
+            t.series_labels.emplace_back(figure_designs()[s].label);
+            std::vector<double> col;
+            for (int i = 0; i < kNumPatterns; ++i) {
+              col.push_back(
+                  stats[s * kNumPatterns + static_cast<std::size_t>(i)]
+                      .energy_per_packet_nj());
+            }
+            t.values.push_back(std::move(col));
+          }
+
+          ExperimentResult r;
+          r.add_table(t);
+          r.addf("\nMean energy per packet across patterns:\n");
+          for (std::size_t s = 0; s < t.series_labels.size(); ++s) {
+            double sum = 0;
+            for (double v : t.values[s]) sum += v;
+            r.addf("  %-12s %.3f nJ\n", t.series_labels[s].c_str(),
+                   sum / static_cast<double>(kNumPatterns));
+          }
+          return r;
+        },
+});
+
+}  // namespace
+}  // namespace dxbar::bench

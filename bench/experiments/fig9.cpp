@@ -1,0 +1,82 @@
+// Figure 9 — normalized execution time of the nine SPLASH-2 workloads
+// (coherence-traffic substitute; see DESIGN.md section 4), normalized to
+// the Buffered 4 baseline per application.  Closed-loop runs: the
+// network's round-trip latency feeds back into each node's issue rate
+// through the MSHR limit, which is what makes "execution time" a
+// property of the router design.
+#include "exp_common.hpp"
+#include "traffic/splash.hpp"
+
+namespace dxbar::bench {
+namespace {
+
+const Registration reg(Experiment{
+    .name = "fig9",
+    .title = "Figure 9: SPLASH-2 normalized execution time (closed loop)",
+    .paper_shape =
+        "DXbar DOR performs best for most traces (DOR above WF); "
+        "Flit-Bless and SCARAB keep up at these low-to-moderate loads "
+        "and can even edge ahead for FFT",
+    .run =
+        [](const RunContext& ctx) {
+          std::vector<SplashProfile> apps = splash_profiles();
+          if (ctx.quick) {
+            for (auto& a : apps) a.transactions_per_node = 30;
+          }
+
+          std::vector<std::pair<SimConfig, const SplashProfile*>> jobs;
+          for (const DesignVariant& dv : figure_designs()) {
+            for (const SplashProfile& app : apps) {
+              SimConfig c = ctx.base;
+              c.design = dv.design;
+              c.routing = dv.routing;
+              jobs.emplace_back(c, &app);
+            }
+          }
+
+          std::vector<ClosedLoopResult> results(jobs.size());
+          parallel_for(
+              jobs.size(),
+              [&](std::size_t i) {
+                results[i] =
+                    run_splash(jobs[i].first, *jobs[i].second, 2'000'000);
+              },
+              ctx.threads);
+
+          // Normalize to Buffered 4 (series index 2 in figure_designs()).
+          const std::size_t baseline = 2;
+          Table t;
+          t.title = "Figure 9: normalized execution time (Buffered 4 = "
+                    "1.0), SPLASH-2 substitute";
+          t.x_label = "app";
+          t.fmt = "%10.3f";
+          for (const auto& app : apps) t.x.emplace_back(app.name);
+          for (std::size_t s = 0; s < figure_designs().size(); ++s) {
+            t.series_labels.emplace_back(figure_designs()[s].label);
+            std::vector<double> col;
+            for (std::size_t a = 0; a < apps.size(); ++a) {
+              const double base = static_cast<double>(
+                  results[baseline * apps.size() + a].completion_cycles);
+              col.push_back(
+                  static_cast<double>(
+                      results[s * apps.size() + a].completion_cycles) /
+                  base);
+            }
+            t.values.push_back(std::move(col));
+          }
+
+          ExperimentResult r;
+          r.add_table(std::move(t));
+          bool all_finished = true;
+          for (const auto& res : results) {
+            all_finished = all_finished && res.finished;
+          }
+          r.addf("\nall workloads completed: %s\n",
+                 all_finished ? "yes" : "NO");
+          r.exit_code = all_finished ? 0 : 1;
+          return r;
+        },
+});
+
+}  // namespace
+}  // namespace dxbar::bench

@@ -1,0 +1,194 @@
+#include "common/json.hpp"
+
+#include <cstdio>
+
+namespace dxbar {
+
+void JsonWriter::newline() {
+  if (indent_ <= 0) return;
+  out_ += '\n';
+  out_.append(static_cast<std::size_t>(depth_ * indent_), ' ');
+}
+
+void JsonWriter::before_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (need_comma_) out_ += ',';
+  if (depth_ > 0) newline();
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  ++depth_;
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  --depth_;
+  if (need_comma_) newline();
+  out_ += '}';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  ++depth_;
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  --depth_;
+  if (need_comma_) newline();
+  out_ += ']';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (need_comma_) out_ += ',';
+  newline();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\": ";
+  need_comma_ = false;
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value();
+  out_ += '"';
+  out_ += json_escape(s);
+  out_ += '"';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  before_value();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  // JSON has no inf/nan literals; clamp to null.
+  const std::string_view sv(buf);
+  if (sv.find("inf") != std::string_view::npos ||
+      sv.find("nan") != std::string_view::npos) {
+    out_ += "null";
+  } else {
+    out_ += buf;
+  }
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  before_value();
+  out_ += b ? "true" : "false";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t i) {
+  before_value();
+  out_ += std::to_string(i);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t u) {
+  before_value();
+  out_ += std::to_string(u);
+  need_comma_ = true;
+  return *this;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void json_config(JsonWriter& w, const SimConfig& cfg) {
+  w.begin_object();
+  w.key("width").value(cfg.mesh_width);
+  w.key("height").value(cfg.mesh_height);
+  w.key("topology").value(cfg.torus ? "torus" : "mesh");
+  w.key("design").value(to_string(cfg.design));
+  w.key("routing").value(to_string(cfg.routing));
+  w.key("pattern").value(to_string(cfg.pattern));
+  w.key("buffer_depth").value(cfg.buffer_depth);
+  w.key("fairness_threshold").value(cfg.fairness_threshold);
+  w.key("stall_escape").value(cfg.stall_escape_delay);
+  w.key("num_vcs").value(cfg.num_vcs);
+  w.key("source_queue_depth").value(cfg.source_queue_depth);
+  w.key("retransmit_buffer").value(cfg.retransmit_buffer);
+  w.key("load").value(cfg.offered_load);
+  w.key("warmup_load").value(cfg.warmup_load);
+  w.key("packet_length").value(cfg.packet_length);
+  w.key("flit_bits").value(cfg.flit_bits);
+  w.key("warmup").value(static_cast<std::uint64_t>(cfg.warmup_cycles));
+  w.key("measure").value(static_cast<std::uint64_t>(cfg.measure_cycles));
+  w.key("drain").value(static_cast<std::uint64_t>(cfg.drain_cycles));
+  w.key("faults").value(cfg.fault_fraction);
+  w.key("fault_detect_delay")
+      .value(static_cast<std::uint64_t>(cfg.fault_detect_delay));
+  w.key("fault_onset_spread")
+      .value(static_cast<std::uint64_t>(cfg.fault_onset_spread));
+  w.key("link_faults").value(cfg.link_fault_fraction);
+  w.key("seed").value(cfg.seed);
+  w.end_object();
+}
+
+void json_run_stats(JsonWriter& w, const RunStats& s) {
+  w.begin_object();
+  w.key("offered_load").value(s.offered_load);
+  w.key("accepted_load").value(s.accepted_load);
+  w.key("accepted_load_stddev").value(s.accepted_load_stddev);
+  w.key("avg_packet_latency").value(s.avg_packet_latency);
+  w.key("avg_network_latency").value(s.avg_network_latency);
+  w.key("latency_p50").value(s.latency_p50);
+  w.key("latency_p95").value(s.latency_p95);
+  w.key("latency_p99").value(s.latency_p99);
+  w.key("latency_max").value(s.latency_max);
+  w.key("avg_hops").value(s.avg_hops);
+  w.key("deflections_per_flit").value(s.deflections_per_flit);
+  w.key("retransmits_per_flit").value(s.retransmits_per_flit);
+  w.key("packets_completed").value(s.packets_completed);
+  w.key("flits_ejected").value(s.flits_ejected);
+  w.key("flits_injected").value(s.flits_injected);
+  w.key("cycles").value(s.cycles);
+  w.key("packet_length").value(s.packet_length);
+  w.key("drained").value(s.drained);
+  w.key("energy_buffer_nj").value(s.energy_buffer_nj);
+  w.key("energy_crossbar_nj").value(s.energy_crossbar_nj);
+  w.key("energy_link_nj").value(s.energy_link_nj);
+  w.key("energy_control_nj").value(s.energy_control_nj);
+  w.key("energy_per_packet_nj").value(s.energy_per_packet_nj());
+  w.end_object();
+}
+
+}  // namespace dxbar

@@ -1,0 +1,70 @@
+// Minimal JSON emission (no external dependency): an append-style
+// writer with automatic comma/indent bookkeeping, plus serializers for
+// the two structs the experiment harness persists (SimConfig, RunStats).
+//
+// Doubles are printed with %.17g so a reader recovers the exact bit
+// pattern — the harness's determinism guarantees are checked through
+// this text form.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+
+namespace dxbar {
+
+class JsonWriter {
+ public:
+  /// `indent` spaces per nesting level; 0 = compact single line.
+  explicit JsonWriter(int indent = 2) : indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by a value or container open.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double d);
+  JsonWriter& value(bool b);
+  JsonWriter& value(std::int64_t i);
+  JsonWriter& value(std::uint64_t u);
+  JsonWriter& value(int i) { return value(static_cast<std::int64_t>(i)); }
+  JsonWriter& value(unsigned u) {
+    return value(static_cast<std::uint64_t>(u));
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  void before_value();
+  void newline();
+
+  std::string out_;
+  int indent_;
+  int depth_ = 0;
+  bool need_comma_ = false;
+  bool after_key_ = false;
+};
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes).
+std::string json_escape(std::string_view s);
+
+/// Emits every SimConfig knob as one JSON object, using the same key
+/// names apply_override accepts where one exists (so a config object can
+/// be replayed as key=value overrides).
+void json_config(JsonWriter& w, const SimConfig& cfg);
+
+/// Emits a RunStats as one JSON object (raw fields plus the derived
+/// energy-per-packet metric the paper plots).
+void json_run_stats(JsonWriter& w, const RunStats& s);
+
+}  // namespace dxbar

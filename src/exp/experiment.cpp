@@ -1,0 +1,29 @@
+#include "exp/experiment.hpp"
+
+#include <cstdio>
+
+namespace dxbar::exp {
+
+void ExperimentResult::addf(const char* fmt, ...) {
+  char buf[4096];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (!blocks.empty() && blocks.back().kind == Block::Kind::Text) {
+    blocks.back().text += buf;
+    return;
+  }
+  Block b;
+  b.kind = Block::Kind::Text;
+  b.text = buf;
+  blocks.push_back(std::move(b));
+}
+
+std::string fmt(double v, const char* f) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), f, v);
+  return buf;
+}
+
+}  // namespace dxbar::exp

@@ -1,0 +1,76 @@
+#include "exp/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dxbar::exp {
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+void Registry::add(Experiment e) {
+  if (find(e.name) != nullptr) {
+    std::fprintf(stderr, "duplicate experiment registration: '%s'\n",
+                 e.name.c_str());
+    std::abort();
+  }
+  experiments_.push_back(std::move(e));
+}
+
+const Experiment* Registry::find(std::string_view name) const {
+  for (const Experiment& e : experiments_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<const Experiment*> Registry::all() const {
+  std::vector<const Experiment*> out;
+  out.reserve(experiments_.size());
+  for (const Experiment& e : experiments_) out.push_back(&e);
+  std::sort(out.begin(), out.end(),
+            [](const Experiment* a, const Experiment* b) {
+              return natural_less(a->name, b->name);
+            });
+  return out;
+}
+
+bool natural_less(std::string_view a, std::string_view b) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const unsigned char ca = static_cast<unsigned char>(a[i]);
+    const unsigned char cb = static_cast<unsigned char>(b[j]);
+    if (std::isdigit(ca) && std::isdigit(cb)) {
+      std::size_t ia = i, jb = j;
+      while (ia < a.size() &&
+             std::isdigit(static_cast<unsigned char>(a[ia]))) {
+        ++ia;
+      }
+      while (jb < b.size() &&
+             std::isdigit(static_cast<unsigned char>(b[jb]))) {
+        ++jb;
+      }
+      // Compare the digit runs numerically: strip leading zeros, then
+      // longer run wins, then lexicographic.
+      std::string_view da = a.substr(i, ia - i);
+      std::string_view db = b.substr(j, jb - j);
+      while (da.size() > 1 && da.front() == '0') da.remove_prefix(1);
+      while (db.size() > 1 && db.front() == '0') db.remove_prefix(1);
+      if (da.size() != db.size()) return da.size() < db.size();
+      if (da != db) return da < db;
+      i = ia;
+      j = jb;
+      continue;
+    }
+    if (ca != cb) return ca < cb;
+    ++i;
+    ++j;
+  }
+  return a.size() - i < b.size() - j;
+}
+
+}  // namespace dxbar::exp

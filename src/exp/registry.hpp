@@ -1,0 +1,44 @@
+// Static experiment registry.
+//
+// Registrations live in bench/experiments/*.cpp as namespace-scope
+// `Registration` objects; everything linked into the driver (or a test)
+// self-registers before main().  The TUs are compiled into an OBJECT
+// library so the linker cannot drop "unreferenced" registrations.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace dxbar::exp {
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Registers an experiment; aborts on a duplicate name (two
+  /// registrations colliding is a build error, not a runtime surprise).
+  void add(Experiment e);
+
+  /// nullptr when no experiment has that name.
+  [[nodiscard]] const Experiment* find(std::string_view name) const;
+
+  /// All experiments in natural name order (fig5 before fig10).
+  [[nodiscard]] std::vector<const Experiment*> all() const;
+
+ private:
+  std::vector<Experiment> experiments_;
+};
+
+/// Natural string comparison: digit runs compare numerically, so
+/// "fig5" < "fig10" and "table1" < "table3".
+bool natural_less(std::string_view a, std::string_view b);
+
+struct Registration {
+  explicit Registration(Experiment e) {
+    Registry::instance().add(std::move(e));
+  }
+};
+
+}  // namespace dxbar::exp

@@ -1,0 +1,367 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/json.hpp"
+#include "sim/campaign.hpp"
+#include "sim/sweep.hpp"
+
+#ifndef DXBAR_GIT_DESCRIBE
+#define DXBAR_GIT_DESCRIBE "unknown"
+#endif
+
+namespace dxbar::exp {
+
+std::string_view git_describe() { return DXBAR_GIT_DESCRIBE; }
+
+BenchArgs parse_bench_args(std::span<const char* const> args) {
+  BenchArgs out;
+  auto need_value = [&](std::size_t& i, const char* flag,
+                        std::string& dst) -> bool {
+    if (i + 1 >= args.size()) {
+      out.error = std::string(flag) + " requires a value";
+      return false;
+    }
+    dst = args[++i];
+    return true;
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const char* a = args[i];
+    if (std::strcmp(a, "--list") == 0) {
+      out.list = true;
+    } else if (std::strcmp(a, "--all") == 0) {
+      out.all = true;
+    } else if (std::strcmp(a, "--quick") == 0) {
+      out.quick = true;
+    } else if (std::strcmp(a, "--csv") == 0) {
+      if (!need_value(i, "--csv", out.csv_dir)) return out;
+    } else if (std::strcmp(a, "--json") == 0) {
+      if (!need_value(i, "--json", out.json_dir)) return out;
+    } else if (std::strcmp(a, "--resume") == 0) {
+      if (!need_value(i, "--resume", out.resume_dir)) return out;
+    } else if (std::strcmp(a, "--threads") == 0) {
+      std::string v;
+      if (!need_value(i, "--threads", v)) return out;
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(v.c_str(), &end, 10);
+      if (end != v.c_str() + v.size()) {
+        out.error = "bad --threads value '" + v + "'";
+        return out;
+      }
+      out.threads = static_cast<unsigned>(n);
+    } else if (std::strchr(a, '=') != nullptr) {
+      out.overrides.emplace_back(a);
+    } else if (a[0] == '-') {
+      out.error = "unknown option '" + std::string(a) + "'";
+      return out;
+    } else {
+      out.experiments.emplace_back(a);
+    }
+  }
+  return out;
+}
+
+std::string make_base_config(const BenchArgs& args, SimConfig& out) {
+  out = SimConfig{};
+  out.warmup_cycles = 1000;
+  out.measure_cycles = 4000;
+  out.drain_cycles = 6000;
+  if (args.quick) {
+    out.warmup_cycles = 300;
+    out.measure_cycles = 1200;
+    out.drain_cycles = 2000;
+  }
+  // Overrides are applied after the quick defaults so an explicit
+  // `warmup_cycles=...` on the command line wins regardless of where it
+  // appeared relative to --quick.
+  for (const std::string& o : args.overrides) {
+    if (const auto err = apply_override(out, o); !err.empty()) return err;
+  }
+  return {};
+}
+
+namespace {
+
+/// Short human signature of a warm group (for the grouping log).
+std::string group_signature(const SimConfig& cfg) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s/%s %s warmup %llu @ load %.3g",
+                std::string(to_string(cfg.design)).c_str(),
+                std::string(to_string(cfg.routing)).c_str(),
+                std::string(to_string(cfg.pattern)).c_str(),
+                static_cast<unsigned long long>(cfg.warmup_cycles),
+                cfg.warmup_load);
+  return buf;
+}
+
+std::vector<RunStats> sweep_warm(const std::string& exp_name,
+                                 const std::vector<SimConfig>& configs,
+                                 unsigned threads, std::size_t& groups_out) {
+  WarmSweepReport report;
+  auto stats = run_warm_sweep(configs, report, threads);
+  groups_out = report.groups.size();
+  if (!report.groups.empty()) {
+    std::fprintf(stderr,
+                 "dxbar_bench: %s: warm-sweep formed %zu group(s) over %zu "
+                 "points (%zu warm, %zu cold)\n",
+                 exp_name.c_str(), report.groups.size(), configs.size(),
+                 report.warm_points(), report.cold_points);
+    for (std::size_t g = 0; g < report.groups.size(); ++g) {
+      std::fprintf(
+          stderr, "dxbar_bench: %s:   group %zu: %zu point(s), %s\n",
+          exp_name.c_str(), g, report.groups[g].size(),
+          group_signature(configs[report.groups[g].front()]).c_str());
+    }
+  }
+  return stats;
+}
+
+std::vector<RunStats> sweep_campaign(const std::string& exp_name,
+                                     const std::vector<SimConfig>& configs,
+                                     const std::string& resume_root) {
+  namespace fs = std::filesystem;
+  const std::string dir = resume_root + "/" + exp_name;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "dxbar_bench: cannot create campaign dir %s: %s\n",
+                 dir.c_str(), ec.message().c_str());
+    std::exit(1);
+  }
+  Campaign campaign(configs, dir);
+  const CampaignStatus before = campaign.status();
+  std::fprintf(stderr,
+               "dxbar_bench: %s: campaign of %zu point(s) in %s, %zu "
+               "already complete\n",
+               exp_name.c_str(), before.total, dir.c_str(), before.completed);
+  const CampaignStatus after = campaign.run();
+  if (!after.finished) {
+    std::fprintf(stderr, "dxbar_bench: %s: campaign incomplete (%zu/%zu)\n",
+                 exp_name.c_str(), after.completed, after.total);
+    std::exit(1);
+  }
+  std::vector<RunStats> stats;
+  stats.reserve(configs.size());
+  for (const auto& r : campaign.results()) stats.push_back(*r);
+  return stats;
+}
+
+}  // namespace
+
+ExperimentResult execute(const Experiment& exp, const RunOptions& opt) {
+  RunContext ctx;
+  ctx.base = opt.base;
+  ctx.quick = opt.quick;
+  ctx.threads = opt.threads;
+
+  ExperimentResult result;
+  std::size_t warm_groups = 0;
+  const bool campaign_mode = !opt.resume_dir.empty();
+  ctx.sweep = [&](const std::vector<SimConfig>& configs) {
+    if (campaign_mode) {
+      return sweep_campaign(exp.name, configs, opt.resume_dir);
+    }
+    return sweep_warm(exp.name, configs, opt.threads, warm_groups);
+  };
+
+  if (exp.grid) {
+    const std::vector<SimConfig> configs = exp.grid(ctx);
+    const std::vector<RunStats> stats = ctx.sweep(configs);
+    result = exp.reduce(ctx, stats);
+    result.grid = configs;
+    result.grid_stats = stats;
+    result.executor = campaign_mode ? "campaign" : "warm_sweep";
+  } else {
+    if (campaign_mode) {
+      std::fprintf(stderr,
+                   "dxbar_bench: %s: not an open-loop grid experiment; "
+                   "--resume has no effect\n",
+                   exp.name.c_str());
+    }
+    result = exp.run(ctx);
+    result.executor = "custom";
+  }
+  result.warm_groups = warm_groups;
+  return result;
+}
+
+void print_result(const ExperimentResult& result) {
+  for (const Block& b : result.blocks) {
+    if (b.kind == Block::Kind::Text) {
+      std::fputs(b.text.c_str(), stdout);
+      continue;
+    }
+    const Table& t = b.table;
+    std::printf("\n%s\n", t.title.c_str());
+    std::printf("%-10s", t.x_label.c_str());
+    for (const auto& s : t.series_labels) std::printf(" %12s", s.c_str());
+    std::printf("\n");
+    for (std::size_t r = 0; r < t.x.size(); ++r) {
+      std::printf("%-10s", t.x[r].c_str());
+      for (std::size_t c = 0; c < t.series_labels.size(); ++c) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), t.fmt.c_str(), t.values[c][r]);
+        std::printf(" %12s", buf);
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+namespace {
+
+std::string slug_of(const std::string& title) {
+  std::string slug;
+  for (char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug += '_';
+    }
+    if (slug.size() >= 60) break;
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug;
+}
+
+bool ensure_dir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "dxbar_bench: cannot create directory %s: %s\n",
+                 dir.c_str(), ec.message().c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_csv_tables(const Experiment& exp, const ExperimentResult& result,
+                      const std::string& csv_dir,
+                      std::vector<std::string>& used_names) {
+  if (!ensure_dir(csv_dir)) return false;
+  bool ok = true;
+  for (const Block& b : result.blocks) {
+    if (b.kind != Block::Kind::Table) continue;
+    const Table& t = b.table;
+    // Prefix the experiment name and disambiguate against every file
+    // written this session: two tables may share a 60-char title slug,
+    // but they must never overwrite each other.
+    std::string name = exp.name + "_" + slug_of(t.title);
+    std::string candidate = name;
+    for (int n = 2;
+         std::find(used_names.begin(), used_names.end(), candidate) !=
+         used_names.end();
+         ++n) {
+      candidate = name + "_" + std::to_string(n);
+    }
+    used_names.push_back(candidate);
+
+    const std::string path = csv_dir + "/" + candidate + ".csv";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "dxbar_bench: cannot open %s for writing\n",
+                   path.c_str());
+      ok = false;
+      continue;
+    }
+    out << t.x_label;
+    for (const auto& s : t.series_labels) out << ',' << s;
+    out << '\n';
+    for (std::size_t r = 0; r < t.x.size(); ++r) {
+      out << t.x[r];
+      for (std::size_t c = 0; c < t.series_labels.size(); ++c) {
+        out << ',' << t.values[c][r];
+      }
+      out << '\n';
+    }
+    if (!out.flush()) {
+      std::fprintf(stderr, "dxbar_bench: failed writing %s\n", path.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+bool write_json_result(const Experiment& exp, const ExperimentResult& result,
+                       const RunOptions& opt) {
+  if (!ensure_dir(opt.json_dir)) return false;
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("dxbar-experiment-result");
+  w.key("schema_version").value(kJsonSchemaVersion);
+  w.key("experiment").value(exp.name);
+  w.key("title").value(exp.title);
+  w.key("git_describe").value(git_describe());
+  w.key("quick").value(opt.quick);
+  w.key("executor").value(result.executor);
+  w.key("warm_groups").value(static_cast<std::uint64_t>(result.warm_groups));
+  w.key("overrides").begin_array();
+  for (const std::string& o : opt.overrides) w.value(o);
+  w.end_array();
+  w.key("base_config");
+  json_config(w, opt.base);
+  w.key("tables").begin_array();
+  for (const Block& b : result.blocks) {
+    if (b.kind != Block::Kind::Table) continue;
+    const Table& t = b.table;
+    w.begin_object();
+    w.key("title").value(t.title);
+    w.key("x_label").value(t.x_label);
+    w.key("x").begin_array();
+    for (const auto& x : t.x) w.value(x);
+    w.end_array();
+    w.key("series").begin_array();
+    for (std::size_t s = 0; s < t.series_labels.size(); ++s) {
+      w.begin_object();
+      w.key("label").value(t.series_labels[s]);
+      w.key("values").begin_array();
+      for (double v : t.values[s]) w.value(v);
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  std::string notes;
+  for (const Block& b : result.blocks) {
+    if (b.kind == Block::Kind::Text) notes += b.text;
+  }
+  w.key("notes").value(notes);
+  w.key("points").begin_array();
+  for (std::size_t i = 0; i < result.grid.size(); ++i) {
+    w.begin_object();
+    w.key("config");
+    json_config(w, result.grid[i]);
+    w.key("stats");
+    json_run_stats(w, result.grid_stats[i]);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  const std::string path = opt.json_dir + "/" + exp.name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "dxbar_bench: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  out << w.str() << '\n';
+  if (!out.flush()) {
+    std::fprintf(stderr, "dxbar_bench: failed writing %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dxbar::exp

@@ -1,0 +1,92 @@
+// Experiment runner: the execution and reporting engine behind the
+// `dxbar_bench` driver.
+//
+// Execution routes every open-loop grid through run_warm_sweep — points
+// that share a warmup (identical config up to measurement rate + drain
+// cap, warmup_load pinned) are warmed once and forked from a snapshot,
+// and the grouping is logged — or, under --resume, through the
+// crash-resumable Campaign runner (kill the process at any instant,
+// re-run the same command, get bit-identical results).
+//
+// Reporting renders the reduced tables to stdout (byte-compatible with
+// the legacy per-figure binaries), optionally mirrors them to CSV, and
+// optionally writes one schema-versioned JSON document per experiment
+// (see DESIGN.md section 8 for the schema).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "exp/registry.hpp"
+
+namespace dxbar::exp {
+
+/// Parsed dxbar_bench command line.  Parsing never applies flag effects
+/// in argument order: flags are collected first and key=value overrides
+/// are applied to the base config LAST, so an explicit `warmup_cycles=`
+/// override wins over --quick regardless of where it appears (the
+/// legacy bench_util parser got this wrong).
+struct BenchArgs {
+  bool list = false;
+  bool all = false;
+  bool quick = false;
+  unsigned threads = 0;
+  std::string csv_dir;
+  std::string json_dir;
+  std::string resume_dir;
+  std::vector<std::string> experiments;  ///< positional experiment names
+  std::vector<std::string> overrides;    ///< key=value args, in order
+  std::string error;                     ///< nonempty => unusable
+};
+
+BenchArgs parse_bench_args(std::span<const char* const> args);
+
+/// Builds the base SimConfig for a session: bench-default phase windows
+/// (warmup 1000 / measure 4000 / drain 6000), shrunk ~4x under --quick,
+/// then the key=value overrides applied on top.  Returns an error
+/// message for a bad override, empty on success.
+std::string make_base_config(const BenchArgs& args, SimConfig& out);
+
+/// How to execute and report one experiment.
+struct RunOptions {
+  SimConfig base;
+  bool quick = false;
+  unsigned threads = 0;
+  std::string csv_dir;     ///< empty = no CSV
+  std::string json_dir;    ///< empty = no JSON
+  std::string resume_dir;  ///< nonempty = campaign execution (grids only)
+  std::vector<std::string> overrides;  ///< recorded in the JSON output
+};
+
+/// Executes one experiment (no output side effects beyond stderr
+/// progress logs).  Grid experiments run via warm sweep or campaign;
+/// custom experiments call their `run`.
+ExperimentResult execute(const Experiment& exp, const RunOptions& opt);
+
+/// Prints the result blocks to stdout, exactly as the legacy binaries
+/// printed them.
+void print_result(const ExperimentResult& result);
+
+/// Writes every table of `result` as CSV under opt.csv_dir (created if
+/// missing).  Filenames are `<experiment>_<title-slug>.csv`,
+/// disambiguated against `used_names` (shared across a session so two
+/// experiments can never overwrite each other).  Returns false (after
+/// printing to stderr) when the directory or a file cannot be created.
+bool write_csv_tables(const Experiment& exp, const ExperimentResult& result,
+                      const std::string& csv_dir,
+                      std::vector<std::string>& used_names);
+
+/// Writes `<json_dir>/<experiment>.json` (dir created if missing).
+/// Returns false (after printing to stderr) on I/O failure.
+bool write_json_result(const Experiment& exp, const ExperimentResult& result,
+                       const RunOptions& opt);
+
+/// Version stamp recorded in JSON outputs (`git describe` at configure
+/// time, or "unknown").
+std::string_view git_describe();
+
+inline constexpr int kJsonSchemaVersion = 1;
+
+}  // namespace dxbar::exp

@@ -78,6 +78,13 @@ std::vector<std::uint8_t> warmup_group_key(const SimConfig& cfg) {
 
 std::vector<RunStats> run_warm_sweep(const std::vector<SimConfig>& configs,
                                      unsigned threads) {
+  WarmSweepReport report;
+  return run_warm_sweep(configs, report, threads);
+}
+
+std::vector<RunStats> run_warm_sweep(const std::vector<SimConfig>& configs,
+                                     WarmSweepReport& report,
+                                     unsigned threads) {
   struct Group {
     std::vector<std::size_t> members;
     std::vector<std::uint8_t> warm_state;  ///< network + workload at warmup
@@ -96,6 +103,10 @@ std::vector<RunStats> run_warm_sweep(const std::vector<SimConfig>& configs,
     groups[it->second].members.push_back(i);
     group_index[i] = static_cast<std::ptrdiff_t>(it->second);
   }
+
+  report.groups.clear();
+  for (const Group& g : groups) report.groups.push_back(g.members);
+  report.cold_points = configs.size() - report.warm_points();
 
   // Phase 1: one warmup per group, snapshotted at the warmup boundary.
   parallel_for(

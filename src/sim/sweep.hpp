@@ -33,6 +33,26 @@ std::vector<RunStats> run_sweep(const std::vector<SimConfig>& configs,
 std::vector<RunStats> run_warm_sweep(const std::vector<SimConfig>& configs,
                                      unsigned threads = 0);
 
+/// How a run_warm_sweep call partitioned its configs: one entry per
+/// shared-warmup group (member indices into the config vector), plus the
+/// count of configs that ran cold.  Lets callers log which groups were
+/// formed (the experiment harness prints this per grid).
+struct WarmSweepReport {
+  std::vector<std::vector<std::size_t>> groups;
+  std::size_t cold_points = 0;
+
+  [[nodiscard]] std::size_t warm_points() const noexcept {
+    std::size_t n = 0;
+    for (const auto& g : groups) n += g.size();
+    return n;
+  }
+};
+
+/// run_warm_sweep that also reports the grouping it performed.
+std::vector<RunStats> run_warm_sweep(const std::vector<SimConfig>& configs,
+                                     WarmSweepReport& report,
+                                     unsigned threads = 0);
+
 /// Generic parallel map over an index range [0, n): `fn(i)` must be
 /// thread-safe and is invoked exactly once per index.  Work is claimed
 /// in small chunks off a shared atomic counter (work stealing), so
