@@ -32,6 +32,8 @@ void print_usage(std::FILE* to) {
       "options:\n"
       "  --list          list registered experiments and exit\n"
       "  --all           run every registered experiment\n"
+      "  --filter GLOB   run registered experiments matching GLOB\n"
+      "                  (`*` and `?`; composes with --all and names)\n"
       "  --quick         ~4x shorter phase windows (smoke runs)\n"
       "  --threads N     worker threads (0 = hardware concurrency)\n"
       "  --csv DIR       mirror every table to DIR/<exp>_<title>.csv\n"
@@ -67,19 +69,10 @@ int main(int argc, char** argv) {
   }
 
   std::vector<const Experiment*> to_run;
-  if (args.all) {
-    to_run = Registry::instance().all();
-  } else {
-    for (const std::string& name : args.experiments) {
-      const Experiment* e = Registry::instance().find(name);
-      if (e == nullptr) {
-        std::fprintf(stderr,
-                     "dxbar_bench: unknown experiment '%s' (see --list)\n",
-                     name.c_str());
-        return 2;
-      }
-      to_run.push_back(e);
-    }
+  if (const std::string err = select_experiments(args, to_run);
+      !err.empty()) {
+    std::fprintf(stderr, "dxbar_bench: %s\n", err.c_str());
+    return 2;
   }
   if (to_run.empty()) {
     print_usage(stderr);
@@ -98,6 +91,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "dxbar_bench: %s\n", cfg_err.c_str());
     return 2;
   }
+
+  // Multi-experiment sessions get a point-count / ETA preflight so the
+  // cost of an `--all` run is visible before the first sweep starts.
+  if (to_run.size() > 1) print_preflight(to_run, opt);
 
   int rc = 0;
   std::vector<std::string> used_csv_names;

@@ -1,0 +1,50 @@
+# Acceptance test for the cross-commit shape diff: perturb a copy of the
+# smoke-run JSON corpus — rewrite fig5's "Buffered 4" accepted-load
+# column so a mid-pack design decisively beats every other series at
+# high load — and require `dxbar_report diff` to flag fig5 as a
+# SHAPE-REGRESSION with exit code 1.
+#
+# Inputs: -DDXBAR_REPORT=<binary> -DSMOKE_DIR=<dir> -DWORK_DIR=<dir>
+
+foreach(var DXBAR_REPORT SMOKE_DIR WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(COPY ${SMOKE_DIR}/ DESTINATION ${WORK_DIR})
+
+file(READ ${WORK_DIR}/fig5.json text)
+set(marker "\"label\": \"Buffered 4\"")
+string(FIND "${text}" "${marker}" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "fig5.json has no 'Buffered 4' series to perturb")
+endif()
+string(SUBSTRING "${text}" 0 ${pos} head)
+string(SUBSTRING "${text}" ${pos} -1 tail)
+# Replace everything up to the closing bracket of this series' values.
+string(FIND "${tail}" "]" close)
+if(close EQUAL -1)
+  message(FATAL_ERROR "fig5.json: no closing bracket after Buffered 4 values")
+endif()
+math(EXPR after "${close} + 1")
+string(SUBSTRING "${tail}" ${after} -1 rest)
+set(flipped
+    "${marker},\n          \"values\": [\n            0.097,\n            0.199,\n            0.264,\n            0.55,\n            0.55,\n            0.55,\n            0.55,\n            0.55,\n            0.55\n          ]")
+file(WRITE ${WORK_DIR}/fig5.json "${head}${flipped}${rest}")
+
+execute_process(
+  COMMAND ${DXBAR_REPORT} diff ${SMOKE_DIR} ${WORK_DIR}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(NOT out MATCHES "SHAPE-REGRESSION")
+  message(FATAL_ERROR "diff output lacks SHAPE-REGRESSION:\n${out}\n${err}")
+endif()
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR
+          "expected exit 1 on shape regression, got '${rc}':\n${out}\n${err}")
+endif()
+message(STATUS "shape regression detected with exit 1, as required")

@@ -1,15 +1,18 @@
-// Minimal JSON emission (no external dependency): an append-style
-// writer with automatic comma/indent bookkeeping, plus serializers for
-// the two structs the experiment harness persists (SimConfig, RunStats).
+// Minimal JSON emission and parsing (no external dependency): an
+// append-style writer with automatic comma/indent bookkeeping, a small
+// recursive-descent DOM parser, plus serializers for the two structs
+// the experiment harness persists (SimConfig, RunStats).
 //
 // Doubles are printed with %.17g so a reader recovers the exact bit
 // pattern — the harness's determinism guarantees are checked through
-// this text form.
+// this text form.  The parser keeps every number's source lexeme, so
+// integer fields round-trip without a double conversion in between.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/config.hpp"
@@ -57,6 +60,54 @@ class JsonWriter {
 
 /// Escapes `s` for inclusion inside a JSON string literal (no quotes).
 std::string json_escape(std::string_view s);
+
+/// Parsed JSON document node.  Numbers keep their source lexeme and are
+/// converted on access, so `%.17g`-printed doubles recover the exact
+/// bit pattern and 64-bit integers never round through a double.
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  /// String value (unescaped) for Type::String; number lexeme for
+  /// Type::Number.
+  std::string scalar;
+  std::vector<JsonValue> items;  ///< Type::Array elements, in order
+  /// Type::Object members in source order (duplicate keys are rejected
+  /// by the parser).
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  [[nodiscard]] bool is_null() const noexcept { return type == Type::Null; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type == Type::Object;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type == Type::Array; }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type == Type::String;
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type == Type::Number;
+  }
+  [[nodiscard]] bool is_bool() const noexcept { return type == Type::Bool; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+
+  /// Number conversions (valid only for Type::Number; strtod of a
+  /// %.17g lexeme is bit-exact).
+  [[nodiscard]] double as_double() const noexcept;
+  [[nodiscard]] std::int64_t as_int64() const noexcept;
+  [[nodiscard]] std::uint64_t as_uint64() const noexcept;
+
+  /// Human name of `type` for error messages ("object", "number", ...).
+  [[nodiscard]] std::string_view type_name() const noexcept;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed,
+/// anything else after the value is an error).  Returns an empty string
+/// on success, or an actionable message with 1-based line:column
+/// position ("line 3:17: expected ':' after object key").
+std::string json_parse(std::string_view text, JsonValue& out);
 
 /// Emits every SimConfig knob as one JSON object, using the same key
 /// names apply_override accepts where one exists (so a config object can

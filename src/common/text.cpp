@@ -1,0 +1,66 @@
+#include "common/text.hpp"
+
+#include <cctype>
+#include <string>
+
+namespace dxbar {
+
+bool natural_less(std::string_view a, std::string_view b) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const unsigned char ca = static_cast<unsigned char>(a[i]);
+    const unsigned char cb = static_cast<unsigned char>(b[j]);
+    if (std::isdigit(ca) && std::isdigit(cb)) {
+      std::size_t ia = i, jb = j;
+      while (ia < a.size() &&
+             std::isdigit(static_cast<unsigned char>(a[ia]))) {
+        ++ia;
+      }
+      while (jb < b.size() &&
+             std::isdigit(static_cast<unsigned char>(b[jb]))) {
+        ++jb;
+      }
+      // Compare the digit runs numerically: strip leading zeros, then
+      // longer run wins, then lexicographic.
+      std::string_view da = a.substr(i, ia - i);
+      std::string_view db = b.substr(j, jb - j);
+      while (da.size() > 1 && da.front() == '0') da.remove_prefix(1);
+      while (db.size() > 1 && db.front() == '0') db.remove_prefix(1);
+      if (da.size() != db.size()) return da.size() < db.size();
+      if (da != db) return da < db;
+      i = ia;
+      j = jb;
+      continue;
+    }
+    if (ca != cb) return ca < cb;
+    ++i;
+    ++j;
+  }
+  return a.size() - i < b.size() - j;
+}
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+  // Iterative matcher with single-star backtracking: on mismatch after
+  // a '*', re-anchor the star to swallow one more character.
+  std::size_t p = 0, t = 0;
+  std::size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace dxbar

@@ -1,0 +1,19 @@
+// Small string utilities shared across subsystems: natural ordering
+// (digit runs compare numerically, so "fig5" < "fig10") and shell-style
+// glob matching for experiment-name filters.
+#pragma once
+
+#include <string_view>
+
+namespace dxbar {
+
+/// Natural string comparison: digit runs compare numerically, so
+/// "fig5" < "fig10" and "table1" < "table3".
+bool natural_less(std::string_view a, std::string_view b);
+
+/// Shell-style glob match over the whole of `text`: `*` matches any run
+/// (including empty), `?` matches exactly one character; everything
+/// else matches literally.  No character classes.
+bool glob_match(std::string_view pattern, std::string_view text);
+
+}  // namespace dxbar

@@ -1,9 +1,10 @@
 #include "exp/registry.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+
+#include "common/text.hpp"
 
 namespace dxbar::exp {
 
@@ -40,37 +41,7 @@ std::vector<const Experiment*> Registry::all() const {
 }
 
 bool natural_less(std::string_view a, std::string_view b) {
-  std::size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    const unsigned char ca = static_cast<unsigned char>(a[i]);
-    const unsigned char cb = static_cast<unsigned char>(b[j]);
-    if (std::isdigit(ca) && std::isdigit(cb)) {
-      std::size_t ia = i, jb = j;
-      while (ia < a.size() &&
-             std::isdigit(static_cast<unsigned char>(a[ia]))) {
-        ++ia;
-      }
-      while (jb < b.size() &&
-             std::isdigit(static_cast<unsigned char>(b[jb]))) {
-        ++jb;
-      }
-      // Compare the digit runs numerically: strip leading zeros, then
-      // longer run wins, then lexicographic.
-      std::string_view da = a.substr(i, ia - i);
-      std::string_view db = b.substr(j, jb - j);
-      while (da.size() > 1 && da.front() == '0') da.remove_prefix(1);
-      while (db.size() > 1 && db.front() == '0') db.remove_prefix(1);
-      if (da.size() != db.size()) return da.size() < db.size();
-      if (da != db) return da < db;
-      i = ia;
-      j = jb;
-      continue;
-    }
-    if (ca != cb) return ca < cb;
-    ++i;
-    ++j;
-  }
-  return a.size() - i < b.size() - j;
+  return dxbar::natural_less(a, b);
 }
 
 }  // namespace dxbar::exp

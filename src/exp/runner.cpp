@@ -8,12 +8,19 @@
 #include <filesystem>
 #include <fstream>
 
+#include <iterator>
+#include <thread>
+
 #include "common/json.hpp"
+#include "common/text.hpp"
 #include "sim/campaign.hpp"
 #include "sim/sweep.hpp"
 
 #ifndef DXBAR_GIT_DESCRIBE
 #define DXBAR_GIT_DESCRIBE "unknown"
+#endif
+#ifndef DXBAR_SOURCE_DIR
+#define DXBAR_SOURCE_DIR "."
 #endif
 
 namespace dxbar::exp {
@@ -45,6 +52,8 @@ BenchArgs parse_bench_args(std::span<const char* const> args) {
       if (!need_value(i, "--json", out.json_dir)) return out;
     } else if (std::strcmp(a, "--resume") == 0) {
       if (!need_value(i, "--resume", out.resume_dir)) return out;
+    } else if (std::strcmp(a, "--filter") == 0) {
+      if (!need_value(i, "--filter", out.filter)) return out;
     } else if (std::strcmp(a, "--threads") == 0) {
       std::string v;
       if (!need_value(i, "--threads", v)) return out;
@@ -153,6 +162,186 @@ std::vector<RunStats> sweep_campaign(const std::string& exp_name,
 }
 
 }  // namespace
+
+std::string select_experiments(const BenchArgs& args,
+                               std::vector<const Experiment*>& out) {
+  out.clear();
+  const auto add = [&](const Experiment* e) {
+    for (const Experiment* have : out) {
+      if (have == e) return;
+    }
+    out.push_back(e);
+  };
+  if (args.all) {
+    for (const Experiment* e : Registry::instance().all()) add(e);
+  }
+  if (!args.filter.empty()) {
+    bool matched = false;
+    for (const Experiment* e : Registry::instance().all()) {
+      if (glob_match(args.filter, e->name)) {
+        add(e);
+        matched = true;
+      }
+    }
+    if (!matched) {
+      std::string err = "--filter '" + args.filter +
+                        "' matches no registered experiment; registered:";
+      for (const Experiment* e : Registry::instance().all()) {
+        err += "\n  " + e->name;
+      }
+      return err;
+    }
+  }
+  for (const std::string& name : args.experiments) {
+    const Experiment* e = Registry::instance().find(name);
+    if (e == nullptr) {
+      return "unknown experiment '" + name + "' (see --list)";
+    }
+    add(e);
+  }
+  return {};
+}
+
+namespace {
+
+/// Per-design simulation rates from the committed perf-kernel baseline.
+struct KernelBaseline {
+  std::vector<std::pair<std::string, double>> rates;  ///< name -> cycles/sec
+  double slowest = 0.0;
+  std::string source;  ///< empty = no baseline found
+};
+
+KernelBaseline load_kernel_baseline() {
+  KernelBaseline kb;
+  for (const char* path :
+       {"BENCH_kernel.json", DXBAR_SOURCE_DIR "/BENCH_kernel.json"}) {
+    std::ifstream in(path);
+    if (!in) continue;
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    JsonValue root;
+    if (!json_parse(text, root).empty() ||
+        root.type != JsonValue::Type::Object) {
+      continue;
+    }
+    const JsonValue* results = root.find("results");
+    if (results == nullptr || results->type != JsonValue::Type::Array) {
+      continue;
+    }
+    for (const JsonValue& item : results->items) {
+      if (item.type != JsonValue::Type::Object) continue;
+      const JsonValue* name = item.find("name");
+      const JsonValue* rate = item.find("cycles_per_sec");
+      if (name == nullptr || rate == nullptr ||
+          name->type != JsonValue::Type::String) {
+        continue;
+      }
+      const double r = rate->as_double();
+      if (r > 0.0) kb.rates.emplace_back(name->scalar, r);
+    }
+    if (!kb.rates.empty()) {
+      kb.source = path;
+      kb.slowest = kb.rates.front().second;
+      for (const auto& [n, r] : kb.rates) kb.slowest = std::min(kb.slowest, r);
+      break;
+    }
+  }
+  return kb;
+}
+
+/// Baseline rate for a design.  The kernel file abbreviates some names
+/// ("Unified" for "Unified Xbar"), so a whole-word prefix also matches;
+/// designs the baseline never measured fall back to the slowest rate
+/// (a conservative ETA).
+double rate_for(const KernelBaseline& kb, RouterDesign d) {
+  const std::string label(to_string(d));
+  for (const auto& [name, rate] : kb.rates) {
+    if (name == label) return rate;
+    if (label.size() > name.size() &&
+        label.compare(0, name.size(), name) == 0 &&
+        label[name.size()] == ' ') {
+      return rate;
+    }
+  }
+  return kb.slowest;
+}
+
+std::string fmt_eta(double seconds) {
+  char buf[32];
+  if (seconds >= 90.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f s", seconds);
+  }
+  return buf;
+}
+
+}  // namespace
+
+void print_preflight(const std::vector<const Experiment*>& to_run,
+                     const RunOptions& opt) {
+  const KernelBaseline kb = load_kernel_baseline();
+  RunContext ctx;
+  ctx.base = opt.base;
+  ctx.quick = opt.quick;
+  ctx.threads = opt.threads;
+
+  unsigned workers =
+      opt.threads != 0 ? opt.threads : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+
+  std::fprintf(stderr, "dxbar_bench: preflight: %zu experiment(s), %u "
+                       "worker(s)%s\n",
+               to_run.size(), workers,
+               kb.source.empty()
+                   ? "; no BENCH_kernel.json baseline, point counts only"
+                   : ("; ETA from " + kb.source).c_str());
+  double total_sec = 0.0;
+  unsigned long long total_points = 0, total_cycles = 0;
+  for (const Experiment* e : to_run) {
+    if (!e->grid) {
+      std::fprintf(stderr, "dxbar_bench:   %-24s custom run (no estimate)\n",
+                   e->name.c_str());
+      continue;
+    }
+    const std::vector<SimConfig> cfgs = e->grid(ctx);
+    unsigned long long cycles = 0;
+    double sec = 0.0;
+    for (const SimConfig& c : cfgs) {
+      const unsigned long long pt = c.warmup_cycles + c.measure_cycles;
+      cycles += pt;
+      if (!kb.source.empty()) {
+        sec += static_cast<double>(pt) / rate_for(kb, c.design);
+      }
+    }
+    sec /= workers;
+    total_points += cfgs.size();
+    total_cycles += cycles;
+    total_sec += sec;
+    if (kb.source.empty()) {
+      std::fprintf(stderr,
+                   "dxbar_bench:   %-24s %4zu points, %8llu cycles\n",
+                   e->name.c_str(), cfgs.size(), cycles);
+    } else {
+      std::fprintf(stderr,
+                   "dxbar_bench:   %-24s %4zu points, %8llu cycles, "
+                   "ETA %s\n",
+                   e->name.c_str(), cfgs.size(), cycles,
+                   fmt_eta(sec).c_str());
+    }
+  }
+  if (kb.source.empty()) {
+    std::fprintf(stderr,
+                 "dxbar_bench: preflight total: %llu points, %llu cycles\n",
+                 total_points, total_cycles);
+  } else {
+    std::fprintf(stderr,
+                 "dxbar_bench: preflight total: %llu points, %llu cycles, "
+                 "ETA %s (upper bound; warm-start sharing and drain slack "
+                 "reduce it)\n",
+                 total_points, total_cycles, fmt_eta(total_sec).c_str());
+  }
+}
 
 ExperimentResult execute(const Experiment& exp, const RunOptions& opt) {
   RunContext ctx;
@@ -290,64 +479,43 @@ bool write_csv_tables(const Experiment& exp, const ExperimentResult& result,
   return ok;
 }
 
+report::ResultDoc result_doc(const Experiment& exp,
+                             const ExperimentResult& result,
+                             const RunOptions& opt) {
+  report::ResultDoc doc;
+  doc.schema_version = kJsonSchemaVersion;
+  doc.experiment = exp.name;
+  doc.title = exp.title;
+  doc.git_describe = std::string(git_describe());
+  doc.quick = opt.quick;
+  doc.executor = result.executor;
+  doc.warm_groups = result.warm_groups;
+  doc.overrides = opt.overrides;
+  doc.base_config = opt.base;
+  for (const Block& b : result.blocks) {
+    if (b.kind == Block::Kind::Text) {
+      doc.notes += b.text;
+      continue;
+    }
+    const Table& t = b.table;
+    report::TableDoc td;
+    td.title = t.title;
+    td.x_label = t.x_label;
+    td.x = t.x;
+    for (std::size_t s = 0; s < t.series_labels.size(); ++s) {
+      td.series.push_back({t.series_labels[s], t.values[s]});
+    }
+    doc.tables.push_back(std::move(td));
+  }
+  for (std::size_t i = 0; i < result.grid.size(); ++i) {
+    doc.points.push_back({result.grid[i], result.grid_stats[i]});
+  }
+  return doc;
+}
+
 bool write_json_result(const Experiment& exp, const ExperimentResult& result,
                        const RunOptions& opt) {
   if (!ensure_dir(opt.json_dir)) return false;
-
-  JsonWriter w;
-  w.begin_object();
-  w.key("schema").value("dxbar-experiment-result");
-  w.key("schema_version").value(kJsonSchemaVersion);
-  w.key("experiment").value(exp.name);
-  w.key("title").value(exp.title);
-  w.key("git_describe").value(git_describe());
-  w.key("quick").value(opt.quick);
-  w.key("executor").value(result.executor);
-  w.key("warm_groups").value(static_cast<std::uint64_t>(result.warm_groups));
-  w.key("overrides").begin_array();
-  for (const std::string& o : opt.overrides) w.value(o);
-  w.end_array();
-  w.key("base_config");
-  json_config(w, opt.base);
-  w.key("tables").begin_array();
-  for (const Block& b : result.blocks) {
-    if (b.kind != Block::Kind::Table) continue;
-    const Table& t = b.table;
-    w.begin_object();
-    w.key("title").value(t.title);
-    w.key("x_label").value(t.x_label);
-    w.key("x").begin_array();
-    for (const auto& x : t.x) w.value(x);
-    w.end_array();
-    w.key("series").begin_array();
-    for (std::size_t s = 0; s < t.series_labels.size(); ++s) {
-      w.begin_object();
-      w.key("label").value(t.series_labels[s]);
-      w.key("values").begin_array();
-      for (double v : t.values[s]) w.value(v);
-      w.end_array();
-      w.end_object();
-    }
-    w.end_array();
-    w.end_object();
-  }
-  w.end_array();
-  std::string notes;
-  for (const Block& b : result.blocks) {
-    if (b.kind == Block::Kind::Text) notes += b.text;
-  }
-  w.key("notes").value(notes);
-  w.key("points").begin_array();
-  for (std::size_t i = 0; i < result.grid.size(); ++i) {
-    w.begin_object();
-    w.key("config");
-    json_config(w, result.grid[i]);
-    w.key("stats");
-    json_run_stats(w, result.grid_stats[i]);
-    w.end_object();
-  }
-  w.end_array();
-  w.end_object();
 
   const std::string path = opt.json_dir + "/" + exp.name + ".json";
   std::ofstream out(path);
@@ -356,7 +524,7 @@ bool write_json_result(const Experiment& exp, const ExperimentResult& result,
                  path.c_str());
     return false;
   }
-  out << w.str() << '\n';
+  out << report::to_json(result_doc(exp, result, opt));
   if (!out.flush()) {
     std::fprintf(stderr, "dxbar_bench: failed writing %s\n", path.c_str());
     return false;

@@ -20,6 +20,7 @@
 
 #include "exp/experiment.hpp"
 #include "exp/registry.hpp"
+#include "report/result_io.hpp"
 
 namespace dxbar::exp {
 
@@ -36,6 +37,7 @@ struct BenchArgs {
   std::string csv_dir;
   std::string json_dir;
   std::string resume_dir;
+  std::string filter;  ///< glob over registered names (`*`, `?`)
   std::vector<std::string> experiments;  ///< positional experiment names
   std::vector<std::string> overrides;    ///< key=value args, in order
   std::string error;                     ///< nonempty => unusable
@@ -65,6 +67,24 @@ struct RunOptions {
 /// custom experiments call their `run`.
 ExperimentResult execute(const Experiment& exp, const RunOptions& opt);
 
+/// Resolves a session's experiment selection: positional names (each
+/// must exist), plus every registered experiment when `all` is set,
+/// plus every registered name matching the `filter` glob.  A filter
+/// matching nothing is an error that lists the registered names.
+/// Returns an error message, empty on success.
+std::string select_experiments(const BenchArgs& args,
+                               std::vector<const Experiment*>& out);
+
+/// Prints a per-experiment point-count / simulated-cycles / ETA table
+/// to stderr before a multi-experiment session starts.  The ETA uses
+/// the per-design cycles/sec baselines committed in BENCH_kernel.json
+/// (searched in the current directory, then the source tree) divided
+/// by the worker count; designs missing from the baseline fall back to
+/// the slowest measured design.  Estimates are upper bounds: warm-start
+/// sharing and drain-cap slack only make real runs faster.
+void print_preflight(const std::vector<const Experiment*>& to_run,
+                     const RunOptions& opt);
+
 /// Prints the result blocks to stdout, exactly as the legacy binaries
 /// printed them.
 void print_result(const ExperimentResult& result);
@@ -77,6 +97,14 @@ void print_result(const ExperimentResult& result);
 bool write_csv_tables(const Experiment& exp, const ExperimentResult& result,
                       const std::string& csv_dir,
                       std::vector<std::string>& used_names);
+
+/// Builds the schema-v1 result document for one executed experiment —
+/// the exact content `write_json_result` serializes (via
+/// report::to_json, the layout shared with the report subsystem's
+/// reader).
+report::ResultDoc result_doc(const Experiment& exp,
+                             const ExperimentResult& result,
+                             const RunOptions& opt);
 
 /// Writes `<json_dir>/<experiment>.json` (dir created if missing).
 /// Returns false (after printing to stderr) on I/O failure.

@@ -1,0 +1,154 @@
+#include "report/analysis.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace dxbar::report {
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool contains_any(const std::string& haystack,
+                  std::initializer_list<const char*> needles) {
+  for (const char* n : needles) {
+    if (haystack.find(n) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Infers winner semantics from the vocabulary the experiment titles
+/// use.  Lower-better terms are checked first: "latency vs load" must
+/// classify as latency, and no current table mixes both families in a
+/// way that would flip the answer.
+MetricDirection infer_direction(const TableDoc& t) {
+  const std::string text = lower(t.title) + " " + lower(t.x_label);
+  if (contains_any(text, {"latency", "energy", "power", "time", "deflection",
+                          "retransmit", "hops", "slowdown"})) {
+    return MetricDirection::LowerBetter;
+  }
+  if (contains_any(text, {"accepted", "throughput", "saturation", "speedup",
+                          "utilization", "delivered"})) {
+    return MetricDirection::HigherBetter;
+  }
+  return MetricDirection::Unknown;
+}
+
+bool parse_all_numeric(const std::vector<std::string>& labels,
+                       std::vector<double>& out) {
+  out.clear();
+  out.reserve(labels.size());
+  for (const std::string& s : labels) {
+    if (s.empty()) return false;
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size()) return false;
+    out.push_back(v);
+  }
+  return !out.empty();
+}
+
+/// x of the point furthest from the first-to-last chord (classic knee
+/// detection); NaN for curves too short or flat to have a knee.
+double knee_x(const std::vector<double>& xs, const std::vector<double>& ys) {
+  const std::size_t n = xs.size();
+  if (n < 3) return std::nan("");
+  const double dx = xs[n - 1] - xs[0];
+  const double dy = ys[n - 1] - ys[0];
+  const double len = std::hypot(dx, dy);
+  if (!(len > 0.0)) return std::nan("");
+  double best = 0.0;
+  double best_x = std::nan("");
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    if (std::isnan(ys[i])) continue;
+    const double dist =
+        std::fabs(dy * (xs[i] - xs[0]) - dx * (ys[i] - ys[0])) / len;
+    if (dist > best) {
+      best = dist;
+      best_x = xs[i];
+    }
+  }
+  return best_x;
+}
+
+}  // namespace
+
+bool tied(double a, double b, double margin) {
+  if (std::isnan(a) || std::isnan(b)) return true;
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  if (!(scale > 0.0)) return true;
+  return std::fabs(a - b) <= margin * scale;
+}
+
+double saturation_from_points(const std::vector<double>& xs,
+                              const std::vector<double>& values,
+                              double ratio) {
+  for (std::size_t i = 0; i < xs.size() && i < values.size(); ++i) {
+    if (values[i] < ratio * xs[i]) return xs[i];
+  }
+  return xs.back();
+}
+
+TableAnalysis analyze_table(const TableDoc& table) {
+  TableAnalysis a;
+  a.direction = infer_direction(table);
+  a.numeric_x = parse_all_numeric(table.x, a.xs);
+
+  const std::string text = lower(table.title) + " " + lower(table.x_label);
+  a.is_accepted_vs_offered =
+      a.numeric_x && a.direction == MetricDirection::HigherBetter &&
+      contains_any(text, {"accepted", "offered"});
+
+  // Per-bin winner: best series at each x, ties -> -1.
+  const std::size_t bins = table.x.size();
+  a.winner_per_bin.assign(bins, -1);
+  if (a.direction != MetricDirection::Unknown && table.series.size() >= 2) {
+    for (std::size_t i = 0; i < bins; ++i) {
+      const auto better = [&](double v, double w) {
+        return a.direction == MetricDirection::HigherBetter ? v > w : v < w;
+      };
+      int best = -1, second = -1;
+      for (std::size_t s = 0; s < table.series.size(); ++s) {
+        const double v = table.series[s].values[i];
+        if (std::isnan(v)) continue;
+        if (best < 0 ||
+            better(v,
+                   table.series[static_cast<std::size_t>(best)].values[i])) {
+          second = best;
+          best = static_cast<int>(s);
+        } else if (second < 0 ||
+                   better(v, table.series[static_cast<std::size_t>(second)]
+                                 .values[i])) {
+          second = static_cast<int>(s);
+        }
+      }
+      // A winner inside the tie margin of the runner-up is no winner.
+      if (best >= 0 && second >= 0 &&
+          !tied(table.series[static_cast<std::size_t>(best)].values[i],
+                table.series[static_cast<std::size_t>(second)].values[i])) {
+        a.winner_per_bin[i] = best;
+      }
+    }
+  }
+
+  for (const SeriesDoc& s : table.series) {
+    SeriesAnalysis sa;
+    sa.label = s.label;
+    sa.saturation = a.is_accepted_vs_offered
+                        ? saturation_from_points(a.xs, s.values)
+                        : std::nan("");
+    sa.knee_x = a.numeric_x ? knee_x(a.xs, s.values) : std::nan("");
+    a.series.push_back(std::move(sa));
+  }
+  return a;
+}
+
+}  // namespace dxbar::report

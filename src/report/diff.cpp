@@ -1,0 +1,250 @@
+#include "report/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/text.hpp"
+
+namespace dxbar::report {
+
+std::string_view to_string(DiffClass c) {
+  switch (c) {
+    case DiffClass::Identical: return "identical";
+    case DiffClass::NumericDrift: return "numeric-drift";
+    case DiffClass::ShapeRegression: return "SHAPE-REGRESSION";
+    case DiffClass::Added: return "added";
+    case DiffClass::Removed: return "removed";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string fmt(const char* f, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), f, v);
+  return buf;
+}
+
+/// Severity order for aggregating table classes into an experiment
+/// class (Added/Removed never come out of diff_tables).
+int severity(DiffClass c) {
+  switch (c) {
+    case DiffClass::Identical: return 0;
+    case DiffClass::NumericDrift: return 1;
+    case DiffClass::ShapeRegression: return 2;
+    default: return 2;
+  }
+}
+
+bool bits_equal(double a, double b) {
+  if (std::isnan(a) && std::isnan(b)) return true;
+  return a == b && std::signbit(a) == std::signbit(b);
+}
+
+/// Representative x step of a numeric axis (for the default saturation
+/// tolerance): the span divided by the bin count.
+double typical_step(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  return (xs.back() - xs.front()) / static_cast<double>(xs.size() - 1);
+}
+
+/// Counts sign alternations of (a - b) over the bins where the two
+/// series are decisively apart (outside the tie margin); near-ties are
+/// skipped so a noise-level wobble around zero is not a "crossing".
+int crossing_count(const SeriesDoc& a, const SeriesDoc& b,
+                   double tie_margin) {
+  int count = 0;
+  int last_sign = 0;
+  for (std::size_t i = 0; i < a.values.size() && i < b.values.size(); ++i) {
+    const double va = a.values[i], vb = b.values[i];
+    if (std::isnan(va) || std::isnan(vb)) continue;
+    if (tied(va, vb, tie_margin)) continue;
+    const int sign = va > vb ? 1 : -1;
+    if (last_sign != 0 && sign != last_sign) ++count;
+    last_sign = sign;
+  }
+  return count;
+}
+
+bool same_structure(const TableDoc& base, const TableDoc& fresh,
+                    std::vector<std::string>& reasons) {
+  if (base.x_label != fresh.x_label) {
+    reasons.push_back("x-axis label changed: '" + base.x_label + "' -> '" +
+                      fresh.x_label + "'");
+  }
+  if (base.x != fresh.x) {
+    reasons.push_back("x axis changed (" + std::to_string(base.x.size()) +
+                      " -> " + std::to_string(fresh.x.size()) + " bins)");
+  }
+  std::vector<std::string> bl, fl;
+  for (const SeriesDoc& s : base.series) bl.push_back(s.label);
+  for (const SeriesDoc& s : fresh.series) fl.push_back(s.label);
+  if (bl != fl) {
+    reasons.push_back("series set changed (" + std::to_string(bl.size()) +
+                      " -> " + std::to_string(fl.size()) + " series)");
+  }
+  return reasons.empty();
+}
+
+}  // namespace
+
+TableDiff diff_tables(const TableDoc& base, const TableDoc& fresh,
+                      const DiffOptions& opt) {
+  TableDiff d;
+  d.title = fresh.title;
+
+  // Structural change is a shape regression by definition: the curves
+  // being compared are no longer the same curves.
+  if (!same_structure(base, fresh, d.reasons)) {
+    d.cls = DiffClass::ShapeRegression;
+    return d;
+  }
+
+  bool any_change = false;
+  for (std::size_t s = 0; s < base.series.size(); ++s) {
+    for (std::size_t i = 0; i < base.x.size(); ++i) {
+      const double b = base.series[s].values[i];
+      const double f = fresh.series[s].values[i];
+      if (!bits_equal(b, f)) any_change = true;
+      if (std::isnan(b) || std::isnan(f)) continue;
+      const double scale = std::max(std::fabs(b), std::fabs(f));
+      if (scale > 0.0) {
+        d.max_rel_delta = std::max(d.max_rel_delta, std::fabs(f - b) / scale);
+      }
+    }
+  }
+  if (!any_change) {
+    d.cls = DiffClass::Identical;
+    return d;
+  }
+
+  const TableAnalysis ab = analyze_table(base);
+  const TableAnalysis af = analyze_table(fresh);
+
+  // Winner flips: a decisive winner in both runs that changed identity.
+  for (std::size_t i = 0; i < ab.winner_per_bin.size(); ++i) {
+    const int wb = ab.winner_per_bin[i];
+    const int wf = af.winner_per_bin[i];
+    if (wb >= 0 && wf >= 0 && wb != wf) {
+      d.reasons.push_back(
+          "winner at " + base.x_label + "=" + base.x[i] + " flipped: '" +
+          base.series[static_cast<std::size_t>(wb)].label + "' -> '" +
+          fresh.series[static_cast<std::size_t>(wf)].label + "'");
+    }
+  }
+
+  // Saturation shifts beyond tolerance (accepted-vs-offered tables).
+  if (ab.is_accepted_vs_offered && af.is_accepted_vs_offered) {
+    double tol = opt.saturation_tolerance;
+    if (tol < 0.0) tol = typical_step(ab.xs) * 1.5;
+    for (std::size_t s = 0; s < ab.series.size(); ++s) {
+      const double sb = ab.series[s].saturation;
+      const double sf = af.series[s].saturation;
+      if (std::isnan(sb) || std::isnan(sf)) continue;
+      if (std::fabs(sf - sb) > tol) {
+        d.reasons.push_back("saturation of '" + base.series[s].label +
+                            "' shifted: " + fmt("%.3g", sb) + " -> " +
+                            fmt("%.3g", sf));
+      }
+    }
+  }
+
+  // Crossing-structure changes per series pair.
+  if (ab.direction != MetricDirection::Unknown) {
+    for (std::size_t i = 0; i < base.series.size(); ++i) {
+      for (std::size_t j = i + 1; j < base.series.size(); ++j) {
+        const int cb = crossing_count(base.series[i], base.series[j],
+                                      opt.tie_margin);
+        const int cf = crossing_count(fresh.series[i], fresh.series[j],
+                                      opt.tie_margin);
+        if (cb != cf) {
+          d.reasons.push_back(
+              "'" + base.series[i].label + "' vs '" + base.series[j].label +
+              "' crossing count changed: " + std::to_string(cb) + " -> " +
+              std::to_string(cf));
+        }
+      }
+    }
+  }
+
+  d.cls = d.reasons.empty() ? DiffClass::NumericDrift
+                            : DiffClass::ShapeRegression;
+  return d;
+}
+
+DiffReport diff_results(const std::vector<ResultDoc>& base,
+                        const std::vector<ResultDoc>& fresh,
+                        const DiffOptions& opt) {
+  DiffReport report;
+
+  auto find = [](const std::vector<ResultDoc>& docs,
+                 const std::string& name) -> const ResultDoc* {
+    for (const ResultDoc& d : docs) {
+      if (d.experiment == name) return &d;
+    }
+    return nullptr;
+  };
+
+  // Union of experiment names, natural-ordered.
+  std::vector<std::string> names;
+  for (const ResultDoc& d : base) names.push_back(d.experiment);
+  for (const ResultDoc& d : fresh) {
+    if (find(base, d.experiment) == nullptr) names.push_back(d.experiment);
+  }
+  std::sort(names.begin(), names.end(), natural_less);
+
+  for (const std::string& name : names) {
+    const ResultDoc* b = find(base, name);
+    const ResultDoc* f = find(fresh, name);
+    ExperimentDiff ed;
+    ed.name = name;
+    if (b == nullptr) {
+      ed.cls = DiffClass::Added;
+      report.experiments.push_back(std::move(ed));
+      continue;
+    }
+    if (f == nullptr) {
+      ed.cls = DiffClass::Removed;
+      report.experiments.push_back(std::move(ed));
+      continue;
+    }
+
+    // Byte-equivalence modulo the version stamp => identical, without
+    // any per-field comparisons.
+    ResultDoc bn = *b, fn = *f;
+    bn.git_describe.clear();
+    fn.git_describe.clear();
+    if (to_json(bn) == to_json(fn)) {
+      ed.cls = DiffClass::Identical;
+      report.experiments.push_back(std::move(ed));
+      continue;
+    }
+
+    if (b->tables.size() != f->tables.size()) {
+      TableDiff td;
+      td.title = "(table set)";
+      td.cls = DiffClass::ShapeRegression;
+      td.reasons.push_back("table count changed: " +
+                           std::to_string(b->tables.size()) + " -> " +
+                           std::to_string(f->tables.size()));
+      ed.tables.push_back(std::move(td));
+    } else {
+      for (std::size_t t = 0; t < b->tables.size(); ++t) {
+        ed.tables.push_back(diff_tables(b->tables[t], f->tables[t], opt));
+      }
+    }
+
+    // The documents differ, so the floor is NumericDrift even when
+    // every table matched (e.g. only raw points or notes moved).
+    ed.cls = DiffClass::NumericDrift;
+    for (const TableDiff& td : ed.tables) {
+      if (severity(td.cls) > severity(ed.cls)) ed.cls = td.cls;
+    }
+    report.experiments.push_back(std::move(ed));
+  }
+  return report;
+}
+
+}  // namespace dxbar::report

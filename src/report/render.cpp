@@ -1,0 +1,273 @@
+#include "report/render.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "report/analysis.hpp"
+#include "report/svg.hpp"
+
+namespace dxbar::report {
+
+namespace {
+
+std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), f, v);
+  return buf;
+}
+
+/// Cell formatting for the markdown tables: %g keeps integers short
+/// and small fractions readable (full precision lives in the JSON).
+std::string cell(double v) {
+  if (std::isnan(v)) return "—";
+  return fmt("%.4g", v);
+}
+
+/// Escapes `|` so labels cannot break markdown table cells.
+std::string md_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '|') out += "\\|";
+    else out += c;
+  }
+  return out;
+}
+
+/// Builds the chart for one table: numeric x axes plot as curves,
+/// categorical axes plot across slots with category tick labels.
+SvgChart table_chart(const TableDoc& t, const TableAnalysis& a,
+                     const std::string& title_override = {}) {
+  SvgChart chart(title_override.empty() ? t.title : title_override,
+                 t.x_label, "");
+  if (!a.numeric_x) chart.set_categories(t.x);
+  for (std::size_t s = 0; s < t.series.size(); ++s) {
+    SvgSeries sv;
+    sv.label = t.series[s].label;
+    for (std::size_t i = 0; i < t.x.size(); ++i) {
+      sv.xs.push_back(a.numeric_x ? a.xs[i] : static_cast<double>(i));
+      sv.ys.push_back(t.series[s].values[i]);
+    }
+    chart.add_series(std::move(sv));
+  }
+  return chart;
+}
+
+void render_markdown_table(std::string& md, const TableDoc& t) {
+  md += "| " + md_escape(t.x_label) + " |";
+  for (const SeriesDoc& s : t.series) md += " " + md_escape(s.label) + " |";
+  md += "\n|---|";
+  for (std::size_t s = 0; s < t.series.size(); ++s) md += "---|";
+  md += "\n";
+  for (std::size_t i = 0; i < t.x.size(); ++i) {
+    md += "| " + md_escape(t.x[i]) + " |";
+    for (const SeriesDoc& s : t.series) md += " " + cell(s.values[i]) + " |";
+    md += "\n";
+  }
+}
+
+/// Compresses winner_per_bin into runs: "DXbar DOR: 0.1–0.9".
+std::string winner_summary(const TableDoc& t, const TableAnalysis& a) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < a.winner_per_bin.size()) {
+    const int w = a.winner_per_bin[i];
+    std::size_t j = i;
+    while (j + 1 < a.winner_per_bin.size() && a.winner_per_bin[j + 1] == w) {
+      ++j;
+    }
+    if (w >= 0) {
+      if (!out.empty()) out += "; ";
+      out += t.series[static_cast<std::size_t>(w)].label + ": " + t.x[i];
+      if (j > i) out += "–" + t.x[j];
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+void render_table_section(std::string& md, const TableDoc& t) {
+  const TableAnalysis a = analyze_table(t);
+  md += "### " + t.title + "\n\n";
+  if (!t.series.empty() && !t.x.empty()) {
+    md += table_chart(t, a).render() + "\n\n";
+    render_markdown_table(md, t);
+    md += "\n";
+    if (a.is_accepted_vs_offered) {
+      md += "*Saturation (acceptance < 90% of offered):* ";
+      for (std::size_t s = 0; s < a.series.size(); ++s) {
+        if (s > 0) md += ", ";
+        md += a.series[s].label + " " + fmt("%.3g", a.series[s].saturation);
+      }
+      md += "\n\n";
+    }
+    if (a.direction != MetricDirection::Unknown) {
+      const std::string winners = winner_summary(t, a);
+      if (!winners.empty()) {
+        md += std::string("*Best series per ") + t.x_label + " bin (" +
+              (a.direction == MetricDirection::HigherBetter ? "higher"
+                                                            : "lower") +
+              " is better):* " + winners + "\n\n";
+      }
+    }
+    if (a.numeric_x) {
+      std::string knees;
+      for (const SeriesAnalysis& s : a.series) {
+        if (std::isnan(s.knee_x)) continue;
+        if (!knees.empty()) knees += ", ";
+        knees += s.label + " @ " + fmt("%.3g", s.knee_x);
+      }
+      if (!knees.empty()) md += "*Knee (max distance from chord):* " +
+                                knees + "\n\n";
+    }
+  }
+}
+
+void render_experiment(std::string& md, const ResultDoc& doc) {
+  md += "## " + doc.experiment + " — " + doc.title + "\n\n";
+  md += "*executor:* `" + doc.executor + "`";
+  if (!doc.points.empty()) {
+    md += ", " + std::to_string(doc.points.size()) + " points";
+  }
+  if (doc.warm_groups > 0) {
+    md += ", " + std::to_string(doc.warm_groups) + " warm group(s)";
+  }
+  if (doc.quick) md += ", quick";
+  if (!doc.overrides.empty()) {
+    md += ", overrides: ";
+    for (std::size_t i = 0; i < doc.overrides.size(); ++i) {
+      if (i > 0) md += " ";
+      md += "`" + doc.overrides[i] + "`";
+    }
+  }
+  md += "\n\n";
+  for (const TableDoc& t : doc.tables) render_table_section(md, t);
+  if (!doc.notes.empty()) {
+    md += "<details><summary>notes</summary>\n\n```\n" + doc.notes +
+          "\n```\n\n</details>\n\n";
+  }
+}
+
+}  // namespace
+
+std::string render_report(const std::vector<ResultDoc>& docs,
+                          std::string_view source_label) {
+  std::string md = "# dxbar experiment report\n\n";
+  md += "Source: `" + std::string(source_label) + "` — " +
+        std::to_string(docs.size()) + " experiment(s)";
+  if (!docs.empty()) {
+    md += ", git `" + docs.front().git_describe + "`, schema v" +
+          std::to_string(docs.front().schema_version);
+  }
+  md += "\n\n";
+  for (const ResultDoc& doc : docs) render_experiment(md, doc);
+  return md;
+}
+
+std::string render_diff(const DiffReport& report,
+                        const std::vector<ResultDoc>& base,
+                        const std::vector<ResultDoc>& fresh,
+                        std::string_view base_label,
+                        std::string_view fresh_label) {
+  auto find = [](const std::vector<ResultDoc>& docs,
+                 const std::string& name) -> const ResultDoc* {
+    for (const ResultDoc& d : docs) {
+      if (d.experiment == name) return &d;
+    }
+    return nullptr;
+  };
+
+  std::string md = "# dxbar result diff\n\n";
+  md += "Base: `" + std::string(base_label) + "`";
+  if (const ResultDoc* d = base.empty() ? nullptr : &base.front()) {
+    md += " (git `" + d->git_describe + "`)";
+  }
+  md += " → New: `" + std::string(fresh_label) + "`";
+  if (const ResultDoc* d = fresh.empty() ? nullptr : &fresh.front()) {
+    md += " (git `" + d->git_describe + "`)";
+  }
+  md += "\n\n";
+
+  const std::size_t regressions =
+      report.count(DiffClass::ShapeRegression);
+  md += "**" + std::to_string(regressions) + " shape regression(s)**, " +
+        std::to_string(report.count(DiffClass::NumericDrift)) + " drifted, " +
+        std::to_string(report.count(DiffClass::Identical)) + " identical, " +
+        std::to_string(report.count(DiffClass::Added)) + " added, " +
+        std::to_string(report.count(DiffClass::Removed)) + " removed.\n\n";
+
+  md += "| experiment | class | max rel Δ |\n|---|---|---|\n";
+  for (const ExperimentDiff& e : report.experiments) {
+    double max_delta = 0.0;
+    for (const TableDiff& t : e.tables) {
+      max_delta = std::max(max_delta, t.max_rel_delta);
+    }
+    std::string cls(to_string(e.cls));
+    if (e.cls == DiffClass::ShapeRegression) cls = "**" + cls + "**";
+    md += "| " + e.name + " | " + cls + " | " +
+          (e.cls == DiffClass::Identical || e.cls == DiffClass::Added ||
+                   e.cls == DiffClass::Removed
+               ? std::string("—")
+               : fmt("%.3g", max_delta)) +
+          " |\n";
+  }
+  md += "\n";
+
+  for (const ExperimentDiff& e : report.experiments) {
+    if (e.cls != DiffClass::ShapeRegression &&
+        e.cls != DiffClass::NumericDrift) {
+      continue;
+    }
+    md += "## " + e.name + " — " + std::string(to_string(e.cls)) + "\n\n";
+    const ResultDoc* bd = find(base, e.name);
+    const ResultDoc* fd = find(fresh, e.name);
+    for (const TableDiff& t : e.tables) {
+      if (t.cls == DiffClass::Identical) continue;
+      md += "### " + t.title + " — " + std::string(to_string(t.cls)) +
+            " (max rel Δ " + fmt("%.3g", t.max_rel_delta) + ")\n\n";
+      for (const std::string& r : t.reasons) md += "- " + r + "\n";
+      if (!t.reasons.empty()) md += "\n";
+
+      // Overlay plot for regressed tables: base dashed, new solid.
+      if (t.cls == DiffClass::ShapeRegression && bd != nullptr &&
+          fd != nullptr) {
+        const TableDoc* bt = nullptr;
+        const TableDoc* ft = nullptr;
+        for (const TableDoc& cand : bd->tables) {
+          if (cand.title == t.title) bt = &cand;
+        }
+        for (const TableDoc& cand : fd->tables) {
+          if (cand.title == t.title) ft = &cand;
+        }
+        if (bt != nullptr && ft != nullptr &&
+            bt->series.size() == ft->series.size() && bt->x == ft->x) {
+          const TableAnalysis a = analyze_table(*ft);
+          SvgChart chart(t.title + " (base dashed, new solid)", ft->x_label,
+                         "");
+          if (!a.numeric_x) chart.set_categories(ft->x);
+          for (std::size_t s = 0; s < ft->series.size(); ++s) {
+            SvgSeries solid, dashed;
+            solid.label = ft->series[s].label;
+            dashed.label = bt->series[s].label + " (base)";
+            dashed.dashed = true;
+            solid.color = static_cast<int>(s);
+            dashed.color = static_cast<int>(s);
+            for (std::size_t i = 0; i < ft->x.size(); ++i) {
+              const double x =
+                  a.numeric_x ? a.xs[i] : static_cast<double>(i);
+              solid.xs.push_back(x);
+              solid.ys.push_back(ft->series[s].values[i]);
+              dashed.xs.push_back(x);
+              dashed.ys.push_back(bt->series[s].values[i]);
+            }
+            chart.add_series(std::move(dashed));
+            chart.add_series(std::move(solid));
+          }
+          md += chart.render() + "\n\n";
+        }
+      }
+    }
+  }
+  return md;
+}
+
+}  // namespace dxbar::report

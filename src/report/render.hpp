@@ -1,0 +1,34 @@
+// Markdown report rendering: turns loaded result documents (and diff
+// reports) into a single self-contained markdown file with one section
+// per experiment, an inline-SVG plot per table, the table data itself,
+// and the derived shape metrics (saturation points, winners, knees).
+//
+// Diff reports render a classification summary up front, then detail
+// sections for every non-identical experiment; shape-regressed tables
+// get an overlay plot (baseline dashed, fresh solid, one hue per
+// series) so the flagged change is visible at a glance.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "report/diff.hpp"
+#include "report/result_io.hpp"
+
+namespace dxbar::report {
+
+/// Renders the full report for one result directory.  `source_label`
+/// names where the documents came from (shown in the header).
+std::string render_report(const std::vector<ResultDoc>& docs,
+                          std::string_view source_label);
+
+/// Renders a diff report.  `base`/`fresh` provide the table data for
+/// overlay plots; labels name the two directories.
+std::string render_diff(const DiffReport& report,
+                        const std::vector<ResultDoc>& base,
+                        const std::vector<ResultDoc>& fresh,
+                        std::string_view base_label,
+                        std::string_view fresh_label);
+
+}  // namespace dxbar::report

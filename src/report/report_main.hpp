@@ -1,0 +1,17 @@
+// dxbar_report CLI logic, exposed as a function so tests can drive the
+// exact command surface (including exit codes) in-process.
+//
+// Exit codes: 0 = success / no shape regressions; 1 = the diff found at
+// least one SHAPE-REGRESSION (the CI gate); 2 = usage or I/O error.
+#pragma once
+
+#include <span>
+
+namespace dxbar::report {
+
+/// `args` excludes the program name:
+///   render <dir> [-o FILE]                 (default FILE: <dir>/report.md)
+///   diff <base-dir> <new-dir> [-o FILE] [--tie-margin X] [--sat-tol X]
+int report_main(std::span<const char* const> args);
+
+}  // namespace dxbar::report

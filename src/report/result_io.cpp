@@ -1,0 +1,483 @@
+#include "report/result_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hpp"
+#include "common/text.hpp"
+
+namespace dxbar::report {
+
+// ---------------------------------------------------------------------
+// Serialization (the one layout shared with the dxbar_bench writer)
+
+std::string to_json(const ResultDoc& doc) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(kSchemaName);
+  w.key("schema_version").value(doc.schema_version);
+  w.key("experiment").value(doc.experiment);
+  w.key("title").value(doc.title);
+  w.key("git_describe").value(doc.git_describe);
+  w.key("quick").value(doc.quick);
+  w.key("executor").value(doc.executor);
+  w.key("warm_groups").value(doc.warm_groups);
+  w.key("overrides").begin_array();
+  for (const std::string& o : doc.overrides) w.value(o);
+  w.end_array();
+  w.key("base_config");
+  json_config(w, doc.base_config);
+  w.key("tables").begin_array();
+  for (const TableDoc& t : doc.tables) {
+    w.begin_object();
+    w.key("title").value(t.title);
+    w.key("x_label").value(t.x_label);
+    w.key("x").begin_array();
+    for (const auto& x : t.x) w.value(x);
+    w.end_array();
+    w.key("series").begin_array();
+    for (const SeriesDoc& s : t.series) {
+      w.begin_object();
+      w.key("label").value(s.label);
+      w.key("values").begin_array();
+      for (double v : s.values) w.value(v);
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("notes").value(doc.notes);
+  w.key("points").begin_array();
+  for (const PointDoc& p : doc.points) {
+    w.begin_object();
+    w.key("config");
+    json_config(w, p.config);
+    w.key("stats");
+    json_run_stats(w, p.stats);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take() + "\n";
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+
+namespace {
+
+/// Reverse of to_string(RouterDesign) — the config serializer writes
+/// display names ("Flit-Bless"), not the parse_design() short forms.
+bool design_from_string(std::string_view s, RouterDesign& out) {
+  for (RouterDesign d :
+       {RouterDesign::FlitBless, RouterDesign::Scarab, RouterDesign::Buffered4,
+        RouterDesign::Buffered8, RouterDesign::DXbar,
+        RouterDesign::UnifiedXbar, RouterDesign::BufferedVC,
+        RouterDesign::Afc}) {
+    if (to_string(d) == s) {
+      out = d;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool routing_from_string(std::string_view s, RoutingAlgo& out) {
+  for (RoutingAlgo a : {RoutingAlgo::DOR, RoutingAlgo::WestFirst,
+                        RoutingAlgo::NegativeFirst, RoutingAlgo::NorthLast}) {
+    if (to_string(a) == s) {
+      out = a;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool pattern_from_string(std::string_view s, TrafficPattern& out) {
+  for (TrafficPattern p : kAllPatterns) {
+    if (to_string(p) == s) {
+      out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Strict member extraction with JSON-path error messages.  Every
+/// getter records the member as "seen"; `finish()` then rejects any
+/// member the schema does not know, so stray keys (schema drift) are
+/// loud errors.
+class ObjReader {
+ public:
+  ObjReader(const JsonValue& v, std::string path, std::string& err)
+      : v_(v), path_(std::move(path)), err_(err) {
+    if (err_.empty() && !v_.is_object()) {
+      err_ = path_ + ": expected object, got " + std::string(v_.type_name());
+    }
+  }
+
+  const JsonValue* get(std::string_view key, JsonValue::Type want,
+                       std::string_view want_name) {
+    if (!err_.empty()) return nullptr;
+    const JsonValue* m = v_.find(key);
+    if (m == nullptr) {
+      err_ = path_ + ": missing key '" + std::string(key) + "'";
+      return nullptr;
+    }
+    seen_.emplace_back(key);
+    if (m->type != want) {
+      err_ = path_ + "." + std::string(key) + ": expected " +
+             std::string(want_name) + ", got " + std::string(m->type_name());
+      return nullptr;
+    }
+    return m;
+  }
+
+  void string(std::string_view key, std::string& out) {
+    if (const JsonValue* m = get(key, JsonValue::Type::String, "string")) {
+      out = m->scalar;
+    }
+  }
+
+  void boolean(std::string_view key, bool& out) {
+    if (const JsonValue* m = get(key, JsonValue::Type::Bool, "bool")) {
+      out = m->boolean;
+    }
+  }
+
+  /// Number, with JSON null accepted as quiet NaN (the writer clamps
+  /// non-finite doubles to null).
+  void number(std::string_view key, double& out) {
+    if (!err_.empty()) return;
+    const JsonValue* m = v_.find(key);
+    if (m == nullptr) {
+      err_ = path_ + ": missing key '" + std::string(key) + "'";
+      return;
+    }
+    seen_.emplace_back(key);
+    if (m->is_null()) {
+      out = std::nan("");
+      return;
+    }
+    if (!m->is_number()) {
+      err_ = path_ + "." + std::string(key) + ": expected number, got " +
+             std::string(m->type_name());
+      return;
+    }
+    out = m->as_double();
+  }
+
+  void integer(std::string_view key, int& out) {
+    if (const JsonValue* m = get(key, JsonValue::Type::Number, "number")) {
+      out = static_cast<int>(m->as_int64());
+    }
+  }
+
+  void uint64(std::string_view key, std::uint64_t& out) {
+    if (const JsonValue* m = get(key, JsonValue::Type::Number, "number")) {
+      out = m->as_uint64();
+    }
+  }
+
+  const JsonValue* array(std::string_view key) {
+    return get(key, JsonValue::Type::Array, "array");
+  }
+
+  const JsonValue* object(std::string_view key) {
+    return get(key, JsonValue::Type::Object, "object");
+  }
+
+  /// Rejects members no getter asked for.
+  void finish() {
+    if (!err_.empty()) return;
+    for (const auto& [k, m] : v_.members) {
+      (void)m;
+      bool known = false;
+      for (const std::string& s : seen_) {
+        if (s == k) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        err_ = path_ + ": unknown key '" + k +
+               "' (schema v" + std::to_string(kSchemaVersion) +
+               " does not define it)";
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] bool ok() const { return err_.empty(); }
+
+ private:
+  const JsonValue& v_;
+  std::string path_;
+  std::string& err_;
+  std::vector<std::string> seen_;
+};
+
+void read_config(const JsonValue& v, const std::string& path, SimConfig& cfg,
+                 std::string& err) {
+  ObjReader r(v, path, err);
+  r.integer("width", cfg.mesh_width);
+  r.integer("height", cfg.mesh_height);
+  std::string topology;
+  r.string("topology", topology);
+  if (r.ok()) {
+    if (topology == "torus") {
+      cfg.torus = true;
+    } else if (topology == "mesh") {
+      cfg.torus = false;
+    } else {
+      err = path + ".topology: unknown topology '" + topology + "'";
+      return;
+    }
+  }
+  std::string design, routing, pattern;
+  r.string("design", design);
+  if (r.ok() && !design_from_string(design, cfg.design)) {
+    err = path + ".design: unknown design '" + design + "'";
+    return;
+  }
+  r.string("routing", routing);
+  if (r.ok() && !routing_from_string(routing, cfg.routing)) {
+    err = path + ".routing: unknown routing '" + routing + "'";
+    return;
+  }
+  r.string("pattern", pattern);
+  if (r.ok() && !pattern_from_string(pattern, cfg.pattern)) {
+    err = path + ".pattern: unknown pattern '" + pattern + "'";
+    return;
+  }
+  r.integer("buffer_depth", cfg.buffer_depth);
+  r.integer("fairness_threshold", cfg.fairness_threshold);
+  r.integer("stall_escape", cfg.stall_escape_delay);
+  r.integer("num_vcs", cfg.num_vcs);
+  r.integer("source_queue_depth", cfg.source_queue_depth);
+  r.integer("retransmit_buffer", cfg.retransmit_buffer);
+  r.number("load", cfg.offered_load);
+  r.number("warmup_load", cfg.warmup_load);
+  r.integer("packet_length", cfg.packet_length);
+  r.integer("flit_bits", cfg.flit_bits);
+  r.uint64("warmup", cfg.warmup_cycles);
+  r.uint64("measure", cfg.measure_cycles);
+  r.uint64("drain", cfg.drain_cycles);
+  r.number("faults", cfg.fault_fraction);
+  r.uint64("fault_detect_delay", cfg.fault_detect_delay);
+  r.uint64("fault_onset_spread", cfg.fault_onset_spread);
+  r.number("link_faults", cfg.link_fault_fraction);
+  r.uint64("seed", cfg.seed);
+  r.finish();
+}
+
+void read_stats(const JsonValue& v, const std::string& path, RunStats& s,
+                std::string& err) {
+  ObjReader r(v, path, err);
+  r.number("offered_load", s.offered_load);
+  r.number("accepted_load", s.accepted_load);
+  r.number("accepted_load_stddev", s.accepted_load_stddev);
+  r.number("avg_packet_latency", s.avg_packet_latency);
+  r.number("avg_network_latency", s.avg_network_latency);
+  r.number("latency_p50", s.latency_p50);
+  r.number("latency_p95", s.latency_p95);
+  r.number("latency_p99", s.latency_p99);
+  r.number("latency_max", s.latency_max);
+  r.number("avg_hops", s.avg_hops);
+  r.number("deflections_per_flit", s.deflections_per_flit);
+  r.number("retransmits_per_flit", s.retransmits_per_flit);
+  r.uint64("packets_completed", s.packets_completed);
+  r.uint64("flits_ejected", s.flits_ejected);
+  r.uint64("flits_injected", s.flits_injected);
+  r.uint64("cycles", s.cycles);
+  r.integer("packet_length", s.packet_length);
+  r.boolean("drained", s.drained);
+  r.number("energy_buffer_nj", s.energy_buffer_nj);
+  r.number("energy_crossbar_nj", s.energy_crossbar_nj);
+  r.number("energy_link_nj", s.energy_link_nj);
+  r.number("energy_control_nj", s.energy_control_nj);
+  // Derived at write time from the fields above; its presence is part
+  // of the schema but the stored value is not load-bearing.
+  double derived = 0.0;
+  r.number("energy_per_packet_nj", derived);
+  r.finish();
+}
+
+void read_table(const JsonValue& v, const std::string& path, TableDoc& t,
+                std::string& err) {
+  ObjReader r(v, path, err);
+  r.string("title", t.title);
+  r.string("x_label", t.x_label);
+  if (const JsonValue* xs = r.array("x")) {
+    for (std::size_t i = 0; i < xs->items.size(); ++i) {
+      const JsonValue& x = xs->items[i];
+      if (!x.is_string()) {
+        err = path + ".x[" + std::to_string(i) + "]: expected string, got " +
+              std::string(x.type_name());
+        return;
+      }
+      t.x.push_back(x.scalar);
+    }
+  }
+  if (const JsonValue* series = r.array("series")) {
+    for (std::size_t i = 0; i < series->items.size(); ++i) {
+      const std::string spath = path + ".series[" + std::to_string(i) + "]";
+      SeriesDoc s;
+      ObjReader sr(series->items[i], spath, err);
+      sr.string("label", s.label);
+      if (const JsonValue* values = sr.array("values")) {
+        for (std::size_t j = 0; j < values->items.size(); ++j) {
+          const JsonValue& val = values->items[j];
+          if (val.is_null()) {
+            s.values.push_back(std::nan(""));
+          } else if (val.is_number()) {
+            s.values.push_back(val.as_double());
+          } else {
+            err = spath + ".values[" + std::to_string(j) +
+                  "]: expected number, got " + std::string(val.type_name());
+            return;
+          }
+        }
+      }
+      sr.finish();
+      if (!err.empty()) return;
+      if (s.values.size() != t.x.size()) {
+        err = spath + ": series '" + s.label + "' has " +
+              std::to_string(s.values.size()) + " values for " +
+              std::to_string(t.x.size()) + " x entries";
+        return;
+      }
+      t.series.push_back(std::move(s));
+    }
+  }
+  r.finish();
+}
+
+}  // namespace
+
+std::string from_json(std::string_view text, ResultDoc& out,
+                      std::string_view where) {
+  out = ResultDoc{};
+  const std::string prefix =
+      where.empty() ? std::string() : std::string(where) + ": ";
+  JsonValue root;
+  if (std::string err = json_parse(text, root); !err.empty()) {
+    return prefix + err;
+  }
+
+  std::string err;
+  ObjReader r(root, "$", err);
+  std::string schema;
+  r.string("schema", schema);
+  if (r.ok() && schema != kSchemaName) {
+    return prefix + "$.schema: expected \"" + std::string(kSchemaName) +
+           "\", got \"" + schema + "\"";
+  }
+  int version = 0;
+  r.integer("schema_version", version);
+  if (r.ok() && version != kSchemaVersion) {
+    return prefix + "$.schema_version: this reader understands version " +
+           std::to_string(kSchemaVersion) + ", file has " +
+           std::to_string(version);
+  }
+  out.schema_version = version;
+  r.string("experiment", out.experiment);
+  r.string("title", out.title);
+  r.string("git_describe", out.git_describe);
+  r.boolean("quick", out.quick);
+  r.string("executor", out.executor);
+  r.uint64("warm_groups", out.warm_groups);
+  if (const JsonValue* overrides = r.array("overrides")) {
+    for (std::size_t i = 0; i < overrides->items.size(); ++i) {
+      const JsonValue& o = overrides->items[i];
+      if (!o.is_string()) {
+        return prefix + "$.overrides[" + std::to_string(i) +
+               "]: expected string, got " + std::string(o.type_name());
+      }
+      out.overrides.push_back(o.scalar);
+    }
+  }
+  if (const JsonValue* cfg = r.object("base_config")) {
+    read_config(*cfg, "$.base_config", out.base_config, err);
+  }
+  if (const JsonValue* tables = r.array("tables")) {
+    for (std::size_t i = 0; i < tables->items.size(); ++i) {
+      if (!err.empty()) break;
+      TableDoc t;
+      read_table(tables->items[i], "$.tables[" + std::to_string(i) + "]", t,
+                 err);
+      if (err.empty()) out.tables.push_back(std::move(t));
+    }
+  }
+  r.string("notes", out.notes);
+  if (const JsonValue* points = r.array("points")) {
+    for (std::size_t i = 0; i < points->items.size(); ++i) {
+      if (!err.empty()) break;
+      const std::string ppath = "$.points[" + std::to_string(i) + "]";
+      PointDoc p;
+      ObjReader pr(points->items[i], ppath, err);
+      if (const JsonValue* cfg = pr.object("config")) {
+        read_config(*cfg, ppath + ".config", p.config, err);
+      }
+      if (const JsonValue* stats = pr.object("stats")) {
+        read_stats(*stats, ppath + ".stats", p.stats, err);
+      }
+      pr.finish();
+      if (err.empty()) out.points.push_back(std::move(p));
+    }
+  }
+  r.finish();
+  if (!err.empty()) return prefix + err;
+  return {};
+}
+
+std::string load_result_file(const std::string& path, ResultDoc& out) {
+  std::ifstream in(path);
+  if (!in) return path + ": cannot open for reading";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return path + ": read error";
+  return from_json(buf.str(), out, path);
+}
+
+std::string load_result_dir(const std::string& dir,
+                            std::vector<ResultDoc>& out) {
+  namespace fs = std::filesystem;
+  out.clear();
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return dir + ": not a directory";
+  }
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      files.push_back(entry.path().string());
+    }
+  }
+  if (ec) return dir + ": " + ec.message();
+  std::sort(files.begin(), files.end(), natural_less);
+
+  std::string errors;
+  for (const std::string& f : files) {
+    ResultDoc doc;
+    if (std::string err = load_result_file(f, doc); !err.empty()) {
+      if (!errors.empty()) errors += '\n';
+      errors += err;
+      continue;
+    }
+    out.push_back(std::move(doc));
+  }
+  std::sort(out.begin(), out.end(), [](const ResultDoc& a,
+                                       const ResultDoc& b) {
+    return natural_less(a.experiment, b.experiment);
+  });
+  return errors;
+}
+
+}  // namespace dxbar::report

@@ -1,0 +1,239 @@
+#include "report/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dxbar::report {
+
+namespace {
+
+/// Okabe-Ito colorblind-safe palette.
+constexpr const char* kPalette[] = {
+    "#0072B2", "#E69F00", "#009E73", "#D55E00",
+    "#CC79A7", "#56B4E9", "#F0E442", "#999999",
+};
+constexpr int kPaletteSize = 8;
+
+std::string xml_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+/// Short tick label: %g keeps 0.1 as "0.1" and 4000 as "4000".
+std::string tick_label(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+/// Largest "nice" step (1/2/5 * 10^k) giving at most `max_ticks`
+/// intervals over [lo, hi].
+double nice_step(double lo, double hi, int max_ticks) {
+  const double span = hi - lo;
+  if (!(span > 0.0)) return 1.0;
+  double step = std::pow(10.0, std::floor(std::log10(span / max_ticks)));
+  for (double mult : {1.0, 2.0, 5.0, 10.0}) {
+    if (span / (step * mult) <= max_ticks) return step * mult;
+  }
+  return step * 10.0;
+}
+
+}  // namespace
+
+void SvgChart::add_series(SvgSeries s) {
+  if (s.color < 0) s.color = static_cast<int>(series_.size());
+  series_.push_back(std::move(s));
+}
+
+std::string SvgChart::render(int width, int height) const {
+  const double legend_w = 150.0;
+  const double ml = 58.0, mr = 14.0 + legend_w, mt = 30.0, mb = 48.0;
+  const double pw = width - ml - mr;   // plot width
+  const double ph = height - mt - mb;  // plot height
+
+  // Data bounds.
+  double xmin = 0.0, xmax = 1.0, ymin = 0.0, ymax = 1.0;
+  bool have = false;
+  for (const SvgSeries& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size() && i < s.ys.size(); ++i) {
+      if (std::isnan(s.xs[i]) || std::isnan(s.ys[i])) continue;
+      if (!have) {
+        xmin = xmax = s.xs[i];
+        ymin = ymax = s.ys[i];
+        have = true;
+      } else {
+        xmin = std::min(xmin, s.xs[i]);
+        xmax = std::max(xmax, s.xs[i]);
+        ymin = std::min(ymin, s.ys[i]);
+        ymax = std::max(ymax, s.ys[i]);
+      }
+    }
+  }
+  // Anchor non-negative data at zero (throughput/latency/energy all
+  // read best against a zero baseline) and pad degenerate ranges.
+  if (ymin > 0.0) ymin = 0.0;
+  if (!(ymax > ymin)) ymax = ymin + 1.0;
+  if (!(xmax > xmin)) xmax = xmin + 1.0;
+
+  const auto px = [&](double x) {
+    return ml + (x - xmin) / (xmax - xmin) * pw;
+  };
+  const auto py = [&](double y) {
+    return mt + ph - (y - ymin) / (ymax - ymin) * ph;
+  };
+
+  std::string svg;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" "
+                "height=\"%d\" viewBox=\"0 0 %d %d\" "
+                "font-family=\"sans-serif\" font-size=\"11\">\n",
+                width, height, width, height);
+  svg += buf;
+  svg += "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  // Title.
+  svg += "<text x=\"" + num(ml + pw / 2) +
+         "\" y=\"16\" text-anchor=\"middle\" font-size=\"13\" "
+         "fill=\"#1a1a1a\">" +
+         xml_escape(title_) + "</text>\n";
+
+  // Y grid + ticks.
+  const double ystep = nice_step(ymin, ymax, 6);
+  for (double y = std::ceil(ymin / ystep) * ystep; y <= ymax + 1e-12;
+       y += ystep) {
+    const double yy = py(y);
+    svg += "<line x1=\"" + num(ml) + "\" y1=\"" + num(yy) + "\" x2=\"" +
+           num(ml + pw) + "\" y2=\"" + num(yy) +
+           "\" stroke=\"#e5e5e5\" stroke-width=\"1\"/>\n";
+    svg += "<text x=\"" + num(ml - 6) + "\" y=\"" + num(yy + 3.5) +
+           "\" text-anchor=\"end\" fill=\"#555\">" + tick_label(y) +
+           "</text>\n";
+  }
+
+  // X ticks: category labels or nice numeric ticks.
+  if (!categories_.empty()) {
+    const bool rotate =
+        std::any_of(categories_.begin(), categories_.end(),
+                    [](const std::string& c) { return c.size() > 5; });
+    for (std::size_t i = 0; i < categories_.size(); ++i) {
+      const double xx = px(static_cast<double>(i));
+      svg += "<line x1=\"" + num(xx) + "\" y1=\"" + num(mt + ph) +
+             "\" x2=\"" + num(xx) + "\" y2=\"" + num(mt + ph + 4) +
+             "\" stroke=\"#555\"/>\n";
+      if (rotate) {
+        svg += "<text x=\"" + num(xx) + "\" y=\"" + num(mt + ph + 14) +
+               "\" text-anchor=\"end\" fill=\"#555\" transform=\"rotate(-30 " +
+               num(xx) + " " + num(mt + ph + 14) + ")\">" +
+               xml_escape(categories_[i]) + "</text>\n";
+      } else {
+        svg += "<text x=\"" + num(xx) + "\" y=\"" + num(mt + ph + 16) +
+               "\" text-anchor=\"middle\" fill=\"#555\">" +
+               xml_escape(categories_[i]) + "</text>\n";
+      }
+    }
+  } else {
+    const double xstep = nice_step(xmin, xmax, 8);
+    for (double x = std::ceil(xmin / xstep) * xstep; x <= xmax + 1e-12;
+         x += xstep) {
+      const double xx = px(x);
+      svg += "<line x1=\"" + num(xx) + "\" y1=\"" + num(mt + ph) +
+             "\" x2=\"" + num(xx) + "\" y2=\"" + num(mt + ph + 4) +
+             "\" stroke=\"#555\"/>\n";
+      svg += "<text x=\"" + num(xx) + "\" y=\"" + num(mt + ph + 16) +
+             "\" text-anchor=\"middle\" fill=\"#555\">" + tick_label(x) +
+             "</text>\n";
+    }
+  }
+
+  // Axes.
+  svg += "<line x1=\"" + num(ml) + "\" y1=\"" + num(mt) + "\" x2=\"" +
+         num(ml) + "\" y2=\"" + num(mt + ph) +
+         "\" stroke=\"#333\" stroke-width=\"1\"/>\n";
+  svg += "<line x1=\"" + num(ml) + "\" y1=\"" + num(mt + ph) + "\" x2=\"" +
+         num(ml + pw) + "\" y2=\"" + num(mt + ph) +
+         "\" stroke=\"#333\" stroke-width=\"1\"/>\n";
+
+  // Axis labels.
+  svg += "<text x=\"" + num(ml + pw / 2) + "\" y=\"" +
+         num(height - 6.0) + "\" text-anchor=\"middle\" fill=\"#333\">" +
+         xml_escape(x_label_) + "</text>\n";
+  if (!y_label_.empty()) {
+    svg += "<text x=\"14\" y=\"" + num(mt + ph / 2) +
+           "\" text-anchor=\"middle\" fill=\"#333\" transform=\"rotate(-90 "
+           "14 " +
+           num(mt + ph / 2) + ")\">" + xml_escape(y_label_) + "</text>\n";
+  }
+
+  // Series.
+  for (const SvgSeries& s : series_) {
+    const char* color = kPalette[s.color % kPaletteSize];
+    const char* dash = s.dashed ? " stroke-dasharray=\"6 4\"" : "";
+    std::string points;
+    bool open = false;
+    auto flush = [&]() {
+      if (open && !points.empty()) {
+        svg += "<polyline fill=\"none\" stroke=\"";
+        svg += color;
+        svg += "\" stroke-width=\"2\"";
+        svg += dash;
+        svg += " points=\"" + points + "\"/>\n";
+      }
+      points.clear();
+      open = false;
+    };
+    for (std::size_t i = 0; i < s.xs.size() && i < s.ys.size(); ++i) {
+      if (std::isnan(s.xs[i]) || std::isnan(s.ys[i])) {
+        flush();
+        continue;
+      }
+      if (!points.empty()) points += ' ';
+      points += num(px(s.xs[i])) + "," + num(py(s.ys[i]));
+      open = true;
+      svg += "<circle cx=\"" + num(px(s.xs[i])) + "\" cy=\"" +
+             num(py(s.ys[i])) + "\" r=\"2.5\" fill=\"";
+      svg += color;
+      svg += "\"/>\n";
+    }
+    flush();
+  }
+
+  // Legend, right of the plot.
+  const double lx = ml + pw + 16.0;
+  double ly = mt + 4.0;
+  for (const SvgSeries& s : series_) {
+    const char* color = kPalette[s.color % kPaletteSize];
+    const char* dash = s.dashed ? " stroke-dasharray=\"6 4\"" : "";
+    svg += "<line x1=\"" + num(lx) + "\" y1=\"" + num(ly) + "\" x2=\"" +
+           num(lx + 22) + "\" y2=\"" + num(ly) + "\" stroke=\"";
+    svg += color;
+    svg += "\" stroke-width=\"2\"";
+    svg += dash;
+    svg += "/>\n";
+    svg += "<text x=\"" + num(lx + 28) + "\" y=\"" + num(ly + 3.5) +
+           "\" fill=\"#333\">" + xml_escape(s.label) + "</text>\n";
+    ly += 16.0;
+  }
+
+  svg += "</svg>";
+  return svg;
+}
+
+}  // namespace dxbar::report

@@ -1,0 +1,49 @@
+// Minimal deterministic SVG line charts for the markdown reports.  No
+// external dependency and no randomness: the same data always renders
+// to the same bytes, so reports diff cleanly under version control.
+//
+// Colors are the Okabe-Ito colorblind-safe palette (8 entries — one per
+// router design, conveniently).  Diff overlays draw the baseline
+// dashed and the fresh run solid in the same hue.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dxbar::report {
+
+struct SvgSeries {
+  std::string label;
+  std::vector<double> xs;
+  std::vector<double> ys;  ///< NaN breaks the polyline
+  bool dashed = false;     ///< baseline style in diff overlays
+  /// Palette slot; series added with add_series() get consecutive
+  /// slots, but overlays may pin two series to one hue.
+  int color = -1;
+};
+
+class SvgChart {
+ public:
+  SvgChart(std::string title, std::string x_label, std::string y_label)
+      : title_(std::move(title)),
+        x_label_(std::move(x_label)),
+        y_label_(std::move(y_label)) {}
+
+  void add_series(SvgSeries s);
+
+  /// Switches the x axis to category slots: series xs are slot indices
+  /// (0..labels-1) and ticks show the labels instead of numbers.
+  void set_categories(std::vector<std::string> labels) {
+    categories_ = std::move(labels);
+  }
+
+  /// Renders the complete <svg> element.
+  [[nodiscard]] std::string render(int width = 760, int height = 380) const;
+
+ private:
+  std::string title_, x_label_, y_label_;
+  std::vector<SvgSeries> series_;
+  std::vector<std::string> categories_;
+};
+
+}  // namespace dxbar::report

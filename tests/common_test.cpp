@@ -6,9 +6,25 @@
 #include "common/flit.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/text.hpp"
 
 namespace dxbar {
 namespace {
+
+TEST(Text, GlobMatchStarAndQuestion) {
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("fig*", "fig5"));
+  EXPECT_TRUE(glob_match("fig*", "fig"));
+  EXPECT_FALSE(glob_match("fig*", "table1"));
+  EXPECT_TRUE(glob_match("fig1?", "fig10"));
+  EXPECT_FALSE(glob_match("fig1?", "fig1"));
+  EXPECT_TRUE(glob_match("*_sat*", "table_saturation"));
+  EXPECT_TRUE(glob_match("a*b*c", "aXXbYYc"));
+  EXPECT_FALSE(glob_match("a*b*c", "aXXbYY"));
+  EXPECT_TRUE(glob_match("", ""));
+  EXPECT_FALSE(glob_match("", "x"));
+  EXPECT_TRUE(glob_match("fig5", "fig5"));  // literal, no wildcards
+}
 
 TEST(Types, OppositeIsInvolution) {
   for (Direction d : kLinkDirs) {

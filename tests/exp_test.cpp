@@ -49,6 +49,7 @@ const std::vector<std::string> kExpectedExperiments = {
     "table1",
     "table2",
     "table3",
+    "table_saturation",
 };
 
 TEST(ExpRegistry, AllExperimentsRegisteredInNaturalOrder) {
@@ -148,6 +149,60 @@ TEST(ExpParser, PhaseWindowDefaultsAndQuick) {
 TEST(ExpParser, BadOverrideIsReportedNotIgnored) {
   SimConfig cfg;
   EXPECT_NE(make_base_config(parse({"fig5", "no_such_knob=1"}), cfg), "");
+}
+
+TEST(ExpParser, FilterFlagIsParsed) {
+  const BenchArgs a = parse({"--filter", "fig*", "--quick"});
+  EXPECT_TRUE(a.error.empty()) << a.error;
+  EXPECT_EQ(a.filter, "fig*");
+  EXPECT_FALSE(parse({"--filter"}).error.empty());  // missing value
+}
+
+std::vector<std::string> selected_names(const BenchArgs& a,
+                                        std::string* err_out = nullptr) {
+  std::vector<const Experiment*> sel;
+  const std::string err = select_experiments(a, sel);
+  if (err_out != nullptr) *err_out = err;
+  std::vector<std::string> names;
+  for (const Experiment* e : sel) names.push_back(e->name);
+  return names;
+}
+
+TEST(ExpFilter, GlobSelectsMatchingExperimentsInRegistryOrder) {
+  const auto names = selected_names(parse({"--filter", "fig1?"}));
+  EXPECT_EQ(names, (std::vector<std::string>{"fig10", "fig11", "fig12"}));
+
+  const auto tables = selected_names(parse({"--filter", "table*"}));
+  EXPECT_EQ(tables, (std::vector<std::string>{"table1", "table2", "table3",
+                                              "table_saturation"}));
+}
+
+TEST(ExpFilter, ComposesWithAllAndPositionalsWithoutDuplicates) {
+  // --all already selects everything; adding a filter or names that
+  // overlap must not run an experiment twice.
+  const auto all = selected_names(parse({"--all", "--filter", "fig*",
+                                         "fig5"}));
+  EXPECT_EQ(all, kExpectedExperiments);
+
+  const auto mix = selected_names(parse({"--filter", "fig5", "fig5",
+                                         "table1"}));
+  EXPECT_EQ(mix, (std::vector<std::string>{"fig5", "table1"}));
+}
+
+TEST(ExpFilter, UnmatchedGlobIsAnErrorListingRegisteredNames) {
+  std::string err;
+  const auto names = selected_names(parse({"--filter", "zzz*"}), &err);
+  EXPECT_TRUE(names.empty());
+  ASSERT_FALSE(err.empty());
+  EXPECT_NE(err.find("zzz*"), std::string::npos) << err;
+  EXPECT_NE(err.find("fig5"), std::string::npos)
+      << "error should list registered names: " << err;
+}
+
+TEST(ExpFilter, UnknownPositionalIsStillAnError) {
+  std::string err;
+  selected_names(parse({"no_such_exp"}), &err);
+  EXPECT_NE(err.find("no_such_exp"), std::string::npos) << err;
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,16 @@
+// dxbar_report — result-analysis CLI over `dxbar_bench --json` output.
+//
+//   dxbar_report render out/               # markdown + SVG report
+//   dxbar_report diff base/ new/           # cross-commit shape diff,
+//                                          # exits 1 on SHAPE-REGRESSION
+//
+// All logic lives in src/report/report_main.cpp so the test suite can
+// drive the same surface in-process.
+#include <span>
+
+#include "report/report_main.hpp"
+
+int main(int argc, char** argv) {
+  return dxbar::report::report_main(std::span<const char* const>(
+      argv + 1, static_cast<std::size_t>(argc - 1)));
+}
