@@ -1,12 +1,18 @@
 // Ablation — mesh-size scaling: does DXbar's advantage survive larger
-// networks?  The paper evaluates 8x8 only; this sweeps 4x4..16x16 at a
-// fixed offered load and reports throughput and latency per design.
+// networks?  The paper evaluates 8x8 only; this sweeps 4x4..64x64 at a
+// fixed relative load and reports throughput and latency per design.
 #include "exp_common.hpp"
 
 namespace dxbar::bench {
 namespace {
 
-const std::vector<int> kSizes = {4, 6, 8, 12, 16};
+/// Quick mode keeps the original small grid (the smoke fixture shape);
+/// the full run extends into the large-radix regime the sharded
+/// executor exists for.
+std::vector<int> sizes(bool quick) {
+  if (quick) return {4, 6, 8, 12, 16};
+  return {4, 6, 8, 12, 16, 32, 64};
+}
 
 const std::vector<DesignVariant>& variants() {
   static const std::vector<DesignVariant> v = {
@@ -20,7 +26,7 @@ const std::vector<DesignVariant>& variants() {
 
 const Registration reg(Experiment{
     .name = "ablation_mesh_scaling",
-    .title = "Ablation: mesh-size scaling 4x4..16x16",
+    .title = "Ablation: mesh-size scaling 4x4..64x64",
     .paper_shape =
         "DXbar holds its acceptance advantage over Flit-Bless as the "
         "mesh grows; deflection cost rises with the average hop count",
@@ -28,7 +34,7 @@ const Registration reg(Experiment{
         [](const RunContext& ctx) {
           std::vector<SimConfig> cfgs;
           for (const auto& v : variants()) {
-            for (int k : kSizes) {
+            for (int k : sizes(ctx.quick)) {
               SimConfig c = ctx.base;
               c.design = v.design;
               c.routing = v.routing;
@@ -38,15 +44,20 @@ const Registration reg(Experiment{
               // flits/node/cycle; hold the *relative* load at ~60% of
               // the k=8 reference point.
               c.offered_load = 0.30 * 8.0 / static_cast<double>(k);
+              // Shard the big meshes across threads; bit-exact by
+              // construction (DESIGN.md §10), so the numbers are the
+              // same as a single-threaded run of the same point.
+              if (k >= 32) c.shards = 4;
               cfgs.push_back(c);
             }
           }
           return cfgs;
         },
     .reduce =
-        [](const RunContext&, const std::vector<RunStats>& stats) {
+        [](const RunContext& ctx, const std::vector<RunStats>& stats) {
+          const std::vector<int> ks = sizes(ctx.quick);
           std::vector<std::string> x;
-          for (int k : kSizes) {
+          for (int k : ks) {
             x.push_back(std::to_string(k) + "x" + std::to_string(k));
           }
           std::vector<std::string> labels;
@@ -55,8 +66,8 @@ const Registration reg(Experiment{
           std::vector<std::vector<double>> thr, lat;
           for (std::size_t s = 0; s < labels.size(); ++s) {
             std::vector<double> tcol, lcol;
-            for (std::size_t i = 0; i < kSizes.size(); ++i) {
-              const RunStats& st = stats[s * kSizes.size() + i];
+            for (std::size_t i = 0; i < ks.size(); ++i) {
+              const RunStats& st = stats[s * ks.size() + i];
               // Normalize accepted to offered so rows are comparable.
               tcol.push_back(st.accepted_load / st.offered_load);
               lcol.push_back(st.avg_packet_latency);

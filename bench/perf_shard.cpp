@@ -1,0 +1,231 @@
+// Sharded-execution throughput bench: simulated cycles/sec for ONE
+// simulation split across worker threads (Network shards), on the
+// 64x64 uniform-random DXbar/DOR mesh the scaling claim targets.
+//
+// Unlike perf_kernel (many independent runs) this measures in-sim
+// parallelism: the same seeded simulation is run at shard counts
+// {1, 2, 4, 8} and timed.  Because sharding is required to be
+// bit-exact (DESIGN.md §10), the end-of-window observables —
+// flits created/delivered and the four energy categories — must be
+// identical across every shard count; the bench checks that and fails
+// hard on a mismatch, so the numbers can never come from a run that
+// silently diverged.
+//
+// Usage:
+//   perf_shard [--quick] [--reps N] [--out FILE] [key=value ...]
+//
+// --out writes a JSON report (BENCH_shard.json in the repo).  The
+// report records std::thread::hardware_concurrency() as
+// "host_threads": shard speedups are only meaningful relative to the
+// cores actually available, and on a single-core host the expected
+// curve is flat (barrier overhead only).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dxbar.hpp"
+
+using namespace dxbar;
+
+namespace {
+
+/// End-of-window observables used for the cross-shard-count identity
+/// check.  Doubles compare exactly: the energy totals are derived from
+/// integer event counts, so any difference is a real divergence.
+struct WindowState {
+  std::uint64_t flits_created = 0;
+  std::uint64_t flits_delivered = 0;
+  double buffer_nj = 0.0;
+  double crossbar_nj = 0.0;
+  double link_nj = 0.0;
+  double control_nj = 0.0;
+
+  bool operator==(const WindowState&) const = default;
+};
+
+struct ShardPoint {
+  int shards = 1;
+  double cycles_per_sec = 0.0;
+  double best_seconds = 0.0;
+  double speedup_vs_serial = 0.0;
+  WindowState state;
+};
+
+/// One timed repetition: fresh network at the given shard count,
+/// untimed warmup, timed window.  Returns wall seconds for the window.
+double run_once(const SimConfig& cfg, Cycle warmup, Cycle window,
+                WindowState& state_out) {
+  Mesh mesh(cfg.mesh_width, cfg.mesh_height, cfg.torus);
+  SyntheticWorkload workload(cfg, mesh);
+  Network net(cfg);
+  net.set_workload(&workload);
+
+  for (Cycle t = 0; t < warmup; ++t) net.step();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (Cycle t = 0; t < window; ++t) net.step();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  state_out.flits_created = net.flits_created();
+  state_out.flits_delivered = net.flits_delivered();
+  state_out.buffer_nj = net.energy().buffer_nj();
+  state_out.crossbar_nj = net.energy().crossbar_nj();
+  state_out.link_nj = net.energy().link_nj();
+  state_out.control_nj = net.energy().control_nj();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SimConfig base;
+  base.design = RouterDesign::DXbar;
+  base.routing = RoutingAlgo::DOR;
+  base.pattern = TrafficPattern::UniformRandom;
+  base.mesh_width = 64;
+  base.mesh_height = 64;
+  base.offered_load = 0.30;
+
+  bool quick = false;
+  int reps = 2;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (const auto err = apply_override(base, argv[i]); !err.empty()) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      return 1;
+    }
+  }
+  if (reps < 1) reps = 1;
+  if (quick) {
+    // Small enough for a ctest smoke run; still crosses shard
+    // boundaries every cycle.
+    base.mesh_width = 16;
+    base.mesh_height = 16;
+  }
+  const Cycle warmup = quick ? 100 : 200;
+  const Cycle window = quick ? 300 : 1000;
+  const unsigned host_threads = std::thread::hardware_concurrency();
+
+  std::printf("perf_shard: %dx%d %s %s load=%.2f window=%llu reps=%d "
+              "host_threads=%u\n",
+              base.mesh_width, base.mesh_height,
+              std::string(to_string(base.design)).c_str(),
+              std::string(to_string(base.pattern)).c_str(),
+              base.offered_load, static_cast<unsigned long long>(window),
+              reps, host_threads);
+  std::printf("%-8s %14s %12s %10s\n", "shards", "cycles/sec", "window s",
+              "speedup");
+
+  std::vector<ShardPoint> points;
+  for (int shards : {1, 2, 4, 8}) {
+    SimConfig cfg = base;
+    cfg.shards = shards;
+    ShardPoint p;
+    p.shards = shards;
+    for (int r = 0; r < reps; ++r) {
+      WindowState state;
+      const double secs = run_once(cfg, warmup, window, state);
+      if (r == 0 || secs < p.best_seconds) p.best_seconds = secs;
+      if (r == 0) {
+        p.state = state;
+      } else if (!(state == p.state)) {
+        std::fprintf(stderr,
+                     "MISMATCH: shards=%d rep %d diverged from rep 0\n",
+                     shards, r);
+        return 1;
+      }
+    }
+    p.cycles_per_sec = static_cast<double>(window) / p.best_seconds;
+    points.push_back(p);
+  }
+
+  bool identical = true;
+  for (ShardPoint& p : points) {
+    p.speedup_vs_serial = p.cycles_per_sec / points.front().cycles_per_sec;
+    if (!(p.state == points.front().state)) {
+      identical = false;
+      std::fprintf(stderr,
+                   "MISMATCH: shards=%d end-of-window state diverged from "
+                   "shards=1\n",
+                   p.shards);
+    }
+    std::printf("%-8d %14.0f %12.4f %9.2fx\n", p.shards, p.cycles_per_sec,
+                p.best_seconds, p.speedup_vs_serial);
+  }
+  std::printf("results across shard counts: %s\n",
+              identical ? "bit-identical" : "MISMATCH");
+  if (host_threads < 2) {
+    std::printf("note: single-core host; speedup curve measures barrier "
+                "overhead, not parallel scaling\n");
+  }
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\n"
+                  "  \"bench\": \"perf_shard\",\n"
+                  "  \"host_threads\": %u,\n"
+                  "  \"config\": {\n"
+                  "    \"mesh\": \"%dx%d\",\n"
+                  "    \"design\": \"%s\",\n"
+                  "    \"routing\": \"%s\",\n"
+                  "    \"pattern\": \"%s\",\n"
+                  "    \"offered_load\": %.2f,\n"
+                  "    \"packet_length\": %d,\n"
+                  "    \"warmup_cycles\": %llu,\n"
+                  "    \"window_cycles\": %llu,\n"
+                  "    \"reps\": %d,\n"
+                  "    \"seed\": %llu\n"
+                  "  },\n"
+                  "  \"results\": [\n",
+                  host_threads, base.mesh_width, base.mesh_height,
+                  std::string(to_string(base.design)).c_str(),
+                  std::string(to_string(base.routing)).c_str(),
+                  std::string(to_string(base.pattern)).c_str(),
+                  base.offered_load, base.packet_length,
+                  static_cast<unsigned long long>(warmup),
+                  static_cast<unsigned long long>(window), reps,
+                  static_cast<unsigned long long>(base.seed));
+    out << buf;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const ShardPoint& p = points[i];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\n"
+                    "      \"shards\": %d,\n"
+                    "      \"cycles_per_sec\": %.1f,\n"
+                    "      \"window_seconds\": %.6f,\n"
+                    "      \"speedup_vs_serial\": %.3f,\n"
+                    "      \"flits_delivered\": %llu\n"
+                    "    }%s\n",
+                    p.shards, p.cycles_per_sec, p.best_seconds,
+                    p.speedup_vs_serial,
+                    static_cast<unsigned long long>(p.state.flits_delivered),
+                    i + 1 < points.size() ? "," : "");
+      out << buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  ],\n"
+                  "  \"bit_identical\": %s\n"
+                  "}\n",
+                  identical ? "true" : "false");
+    out << buf;
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return identical ? 0 : 1;
+}

@@ -147,6 +147,7 @@ std::string SimConfig::validate() const {
   }
   if (source_queue_depth < 1) return "source_queue_depth must be >= 1";
   if (retransmit_buffer < 1) return "retransmit_buffer must be >= 1";
+  if (shards < 1) return "shards must be >= 1";
   return {};
 }
 
@@ -167,6 +168,7 @@ std::string SimConfig::describe() const {
       "phases            warmup %llu / measure %llu / drain %llu\n"
       "faults            crossbar %.2f (detect %llu, spread %llu), "
       "links %.2f\n"
+      "shards            %d\n"
       "seed              %llu\n",
       mesh_width, mesh_height, torus ? " torus" : "",
       std::string(to_string(design)).c_str(),
@@ -178,7 +180,7 @@ std::string SimConfig::describe() const {
       static_cast<unsigned long long>(drain_cycles), fault_fraction,
       static_cast<unsigned long long>(fault_detect_delay),
       static_cast<unsigned long long>(fault_onset_spread),
-      link_fault_fraction, static_cast<unsigned long long>(seed));
+      link_fault_fraction, shards, static_cast<unsigned long long>(seed));
   return buf;
 }
 
@@ -254,6 +256,9 @@ std::string apply_override(SimConfig& cfg, std::string_view arg) {
   } else if (key == "fault_onset_spread") {
     if (!parse_int(val, i)) return bad();
     cfg.fault_onset_spread = static_cast<Cycle>(i);
+  } else if (key == "shards") {
+    if (!parse_int(val, i)) return bad();
+    cfg.shards = static_cast<int>(i);
   } else if (key == "seed") {
     if (!parse_int(val, i)) return bad();
     cfg.seed = static_cast<std::uint64_t>(i);

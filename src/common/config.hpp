@@ -82,6 +82,14 @@ struct SimConfig {
   /// disconnects the mesh.
   double link_fault_fraction = 0.0;
 
+  // --- execution ---------------------------------------------------------
+  /// Worker threads one simulation is sharded across (row-strip mesh
+  /// partition; see DESIGN.md §10).  Purely an execution knob: results
+  /// are bit-exact for every value, and it is clamped to the mesh height
+  /// at build time.  Not part of the snapshot identity — a checkpoint
+  /// taken at any shard count restores under any other.
+  int shards = 1;
+
   // --- misc ---------------------------------------------------------------
   std::uint64_t seed = 1;
 

@@ -65,6 +65,36 @@ struct RunStats {
   }
 };
 
+/// Window-gated injection counter a single shard can bump without
+/// touching the shared StatsCollector.  One tally lives per shard
+/// (cache-line aligned so neighbouring shards don't false-share); the
+/// network folds every tally into the collector at the end of each
+/// cycle via `take()` + `StatsCollector::add_injected`, so the
+/// collector's observable state at cycle boundaries is identical to the
+/// single-threaded run.
+class alignas(64) InjectionTally {
+ public:
+  InjectionTally(Cycle window_start, Cycle window_end) noexcept
+      : window_start_(window_start), window_end_(window_end) {}
+
+  void on_flit_injected(const Flit& f, Cycle now) noexcept {
+    if (now >= window_start_ && now < window_end_) ++count_;
+    (void)f;
+  }
+
+  /// Returns and clears the pending count.
+  [[nodiscard]] std::uint64_t take() noexcept {
+    const std::uint64_t n = count_;
+    count_ = 0;
+    return n;
+  }
+
+ private:
+  Cycle window_start_;
+  Cycle window_end_;
+  std::uint64_t count_ = 0;
+};
+
 /// Collects per-packet records and distils them into RunStats.
 class StatsCollector {
  public:
@@ -94,6 +124,9 @@ class StatsCollector {
     if (now >= window_start_ && now < window_end_) ++window_flits_injected_;
     (void)f;
   }
+
+  /// Folds a shard's InjectionTally (already window-gated) in.
+  void add_injected(std::uint64_t n) noexcept { window_flits_injected_ += n; }
 
   /// A packet finished reassembly.  Only packets *created* during the
   /// window contribute to latency averages.

@@ -50,8 +50,15 @@ struct TimingParams {
 };
 
 /// Per-category energy accumulator.  Routers report events; the meter
-/// converts them to nanojoules using the design's parameters.  Recording
-/// is gated by `set_enabled` so only the measurement window accumulates.
+/// counts them and converts to nanojoules on demand using the design's
+/// parameters.  Recording is gated by `set_enabled` so only the
+/// measurement window accumulates.
+///
+/// Counting integer events instead of summing doubles makes the meter
+/// fold-order independent: sharded runs keep one meter per shard and
+/// absorb() them into the main meter each cycle, and because u64
+/// addition is associative the totals are bit-identical for every shard
+/// count — a double accumulator would pick up shard-dependent rounding.
 class EnergyMeter {
  public:
   explicit EnergyMeter(RouterDesign design)
@@ -61,64 +68,94 @@ class EnergyMeter {
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
 
   void crossbar_traversal() noexcept {
-    if (enabled_) crossbar_pj_ += params_.crossbar_pj;
+    if (enabled_) ++crossbar_events_;
   }
   void link_traversal() noexcept {
-    if (enabled_) link_pj_ += params_.link_pj;
+    if (enabled_) ++link_events_;
   }
   void buffer_write() noexcept {
-    if (enabled_) buffer_pj_ += params_.buffer_write_pj;
+    if (enabled_) ++buffer_writes_;
   }
   void buffer_read() noexcept {
-    if (enabled_) buffer_pj_ += params_.buffer_read_pj;
+    if (enabled_) ++buffer_reads_;
   }
   void nack_hops(int hops) noexcept {
-    if (enabled_) control_pj_ += params_.nack_hop_pj * hops;
+    if (enabled_) nack_hop_events_ += static_cast<std::uint64_t>(hops);
   }
 
-  [[nodiscard]] double buffer_nj() const noexcept { return buffer_pj_ * 1e-3; }
-  [[nodiscard]] double crossbar_nj() const noexcept {
-    return crossbar_pj_ * 1e-3;
+  [[nodiscard]] double buffer_nj() const noexcept {
+    return (static_cast<double>(buffer_writes_) * params_.buffer_write_pj +
+            static_cast<double>(buffer_reads_) * params_.buffer_read_pj) *
+           1e-3;
   }
-  [[nodiscard]] double link_nj() const noexcept { return link_pj_ * 1e-3; }
+  [[nodiscard]] double crossbar_nj() const noexcept {
+    return static_cast<double>(crossbar_events_) * params_.crossbar_pj * 1e-3;
+  }
+  [[nodiscard]] double link_nj() const noexcept {
+    return static_cast<double>(link_events_) * params_.link_pj * 1e-3;
+  }
   [[nodiscard]] double control_nj() const noexcept {
-    return control_pj_ * 1e-3;
+    return static_cast<double>(nack_hop_events_) * params_.nack_hop_pj * 1e-3;
   }
   [[nodiscard]] double total_nj() const noexcept {
     return buffer_nj() + crossbar_nj() + link_nj() + control_nj();
   }
 
+  /// Drains `other`'s counts into this meter (gated by this meter's
+  /// enable flag, mirroring the per-event gate).  The source is zeroed
+  /// either way so a disabled window cannot leak into a later fold.
+  void absorb(EnergyMeter& other) noexcept {
+    if (enabled_) {
+      crossbar_events_ += other.crossbar_events_;
+      link_events_ += other.link_events_;
+      buffer_writes_ += other.buffer_writes_;
+      buffer_reads_ += other.buffer_reads_;
+      nack_hop_events_ += other.nack_hop_events_;
+    }
+    other.reset();
+  }
+
   void reset() noexcept {
-    buffer_pj_ = crossbar_pj_ = link_pj_ = control_pj_ = 0.0;
+    crossbar_events_ = link_events_ = 0;
+    buffer_writes_ = buffer_reads_ = nack_hop_events_ = 0;
   }
 
   [[nodiscard]] const EnergyParams& params() const noexcept { return params_; }
 
-  // Snapshot protocol: the gate flag and the four accumulators (the
-  // per-event parameters are configuration).  Doubles round-trip by bit
-  // pattern, so restored accumulation continues bit-exactly.
+  // Snapshot protocol: the gate flag and the five event counts (the
+  // per-event parameters are configuration).  Version 2 layout — the v1
+  // stream stored four double accumulators instead, so v1 snapshots are
+  // rejected here rather than silently misread.
   void save(SnapshotWriter& w) const {
     w.boolean(enabled_);
-    w.f64(buffer_pj_);
-    w.f64(crossbar_pj_);
-    w.f64(link_pj_);
-    w.f64(control_pj_);
+    w.u64(crossbar_events_);
+    w.u64(link_events_);
+    w.u64(buffer_writes_);
+    w.u64(buffer_reads_);
+    w.u64(nack_hop_events_);
   }
   void load(SnapshotReader& r) {
+    if (r.version() < 2) {
+      throw SnapshotError(
+          "energy meter requires snapshot version >= 2 (v1 stored double "
+          "accumulators; re-record the checkpoint)");
+    }
     enabled_ = r.boolean();
-    buffer_pj_ = r.f64();
-    crossbar_pj_ = r.f64();
-    link_pj_ = r.f64();
-    control_pj_ = r.f64();
+    crossbar_events_ = r.u64();
+    link_events_ = r.u64();
+    buffer_writes_ = r.u64();
+    buffer_reads_ = r.u64();
+    nack_hop_events_ = r.u64();
   }
 
  private:
   EnergyParams params_;
   bool enabled_ = true;
-  double buffer_pj_ = 0.0;
-  double crossbar_pj_ = 0.0;
-  double link_pj_ = 0.0;
-  double control_pj_ = 0.0;
+  std::uint64_t crossbar_events_ = 0;
+  std::uint64_t link_events_ = 0;
+  std::uint64_t buffer_writes_ = 0;
+  std::uint64_t buffer_reads_ = 0;
+  std::uint64_t nack_hop_events_ = 0;
 };
 
 }  // namespace dxbar

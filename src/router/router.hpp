@@ -39,10 +39,13 @@ class InjectionQueue {
  public:
   /// Wired once by the network before simulation starts; `pool` backs
   /// the queued flits so injection never hits the global allocator.
-  void attach(const Cycle* clock, StatsCollector* stats,
+  /// The tally is the owning shard's injection counter — pop_front runs
+  /// inside the parallel router phase, so it must not touch the shared
+  /// StatsCollector directly.
+  void attach(const Cycle* clock, InjectionTally* tally,
               FlitPool* pool) noexcept {
     clock_ = clock;
-    stats_ = stats;
+    tally_ = tally;
     q_.attach_pool(pool);
   }
 
@@ -54,7 +57,7 @@ class InjectionQueue {
     Flit f = q_.pop_front();
     if (f.injected_at == kNotInjected && clock_ != nullptr) {
       f.injected_at = *clock_;
-      if (stats_ != nullptr) stats_->on_flit_injected(f, *clock_);
+      if (tally_ != nullptr) tally_->on_flit_injected(f, *clock_);
     }
     return f;
   }
@@ -71,7 +74,7 @@ class InjectionQueue {
  private:
   PooledFlitDeque q_;
   const Cycle* clock_ = nullptr;
-  StatsCollector* stats_ = nullptr;
+  InjectionTally* tally_ = nullptr;
 };
 
 /// Receives SCARAB drop notifications; implemented by the network, which

@@ -19,13 +19,29 @@ Network::Network(const SimConfig& cfg)
                              cfg.fault_detect_delay)) {}
 
 Network::Network(const SimConfig& cfg, FaultPlan plan)
+    : Network(cfg, std::move(plan),
+              MeshPartition::rows(
+                  Mesh(cfg.mesh_width, cfg.mesh_height, cfg.torus),
+                  cfg.shards)) {}
+
+Network::Network(const SimConfig& cfg, const MeshPartition& part)
+    : Network(cfg,
+              FaultPlan(cfg.num_nodes(), cfg.fault_fraction, cfg.seed,
+                        cfg.fault_onset_spread, cfg.fault_detect_delay),
+              part) {}
+
+Network::Network(const SimConfig& cfg, FaultPlan plan,
+                 const MeshPartition& part)
     : cfg_(cfg),
       mesh_(cfg.mesh_width, cfg.mesh_height, cfg.torus),
+      part_(part),
       energy_(cfg.design),
       faults_(std::move(plan)),
       link_faults_(mesh_, cfg.link_fault_fraction, cfg.seed),
       stats_(cfg.warmup_cycles, cfg.warmup_cycles + cfg.measure_cycles,
              cfg.num_nodes()) {
+  assert(part_.width() == mesh_.width() &&
+         part_.height() == mesh_.height() && "partition/mesh mismatch");
   assert(cfg_.validate().empty() && "invalid SimConfig");
   if (link_faults_.any()) {
     route_table_ = std::make_unique<RouteTable>(
@@ -64,31 +80,62 @@ void Network::build() {
         channels_.emplace_back(credits);
       }
       channel_meta_.push_back(
-          {*nb, port_index(opposite(d))});
+          {a, *nb, port_index(opposite(d))});
     }
   }
 
-  // Channels self-register here when a send / credit return / stop flip
-  // gives advance() work; the per-cycle sweep then skips quiescent ones.
-  active_channels_.reserve(channels_.size());
+  // Per-shard state.  Heap-allocated so each block honours alignas(64)
+  // and keeps a stable address for the wiring below.
+  const int num_shards = part_.shards();
+  shards_.reserve(static_cast<std::size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<ShardState>(
+        cfg_.design, cfg_.warmup_cycles,
+        cfg_.warmup_cycles + cfg_.measure_cycles));
+    // Pre-size the shard's flit arena so steady-state injection recycles
+    // slots instead of growing (growth remains correct, just amortized).
+    shards_.back()->flit_pool.reserve(
+        static_cast<std::size_t>(part_.node_end(s) - part_.node_begin(s)) *
+        16);
+    shards_.back()->active_channels.reserve(channels_.size());
+  }
+  if (num_shards > 1) pool_ = std::make_unique<ShardPool>(num_shards);
+
+  // A channel belongs to the shard of its destination router: that shard
+  // advances it and delivers its arrival.  Interior channels (both
+  // endpoints in one shard) self-register on the owner's active list
+  // when a send / credit return / stop flip gives advance() work, and
+  // the sweep delists them once quiescent.  Boundary channels are
+  // *pinned* — permanently listed — because their two endpoint routers
+  // run on different threads and touch() list maintenance is the one
+  // channel mutation that is not endpoint-disjoint; pinned, touch()
+  // never writes, and the shard-private field writes that remain
+  // (sender: staged/credits/total_sends; receiver: pending credits,
+  // stop_pending) never conflict.
   for (std::size_t i = 0; i < channels_.size(); ++i) {
-    channels_[i].attach_active_list(&active_channels_,
+    const ChannelMeta& m = channel_meta_[i];
+    ShardState& owner = *shards_[static_cast<std::size_t>(
+        part_.shard_of_node(m.dst_node))];
+    channels_[i].attach_active_list(&owner.active_channels,
                                     static_cast<std::uint32_t>(i));
+    if (!part_.same_shard(m.src_node, m.dst_node)) channels_[i].pin();
   }
 
-  // Pre-size the flit arena so steady-state injection recycles slots
-  // instead of growing (growth remains correct, just amortized).
-  flit_pool_.reserve(static_cast<std::size_t>(n) * 16);
-
   sources_.resize(static_cast<std::size_t>(n));
-  for (auto& s : sources_) s.attach(&now_, &stats_, &flit_pool_);
+  for (NodeId id = 0; id < static_cast<NodeId>(n); ++id) {
+    ShardState& owner =
+        *shards_[static_cast<std::size_t>(part_.shard_of_node(id))];
+    sources_[id].attach(&now_, &owner.tally, &owner.flit_pool);
+  }
 
   routers_.reserve(static_cast<std::size_t>(n));
   for (NodeId id = 0; id < static_cast<NodeId>(n); ++id) {
+    ShardState& owner =
+        *shards_[static_cast<std::size_t>(part_.shard_of_node(id))];
     RouterEnv env;
     env.cfg = &cfg_;
     env.mesh = &mesh_;
-    env.energy = &energy_;
+    env.energy = &owner.energy;
     env.faults = &faults_;
     env.route_table = route_table_.get();
     env.route_cache = route_cache_.get();
@@ -106,13 +153,17 @@ void Network::build() {
     }
     auto router = make_router(id, env);
     router->source = &sources_[id];
-    router->nack_sink = this;
+    router->nack_sink = &owner;
     routers_.push_back(std::move(router));
   }
 
   if (cfg_.design == RouterDesign::Scarab) {
     scarab_staging_.resize(static_cast<std::size_t>(n));
-    for (auto& st : scarab_staging_) st.attach_pool(&flit_pool_);
+    for (NodeId id = 0; id < static_cast<NodeId>(n); ++id) {
+      scarab_staging_[id].attach_pool(
+          &shards_[static_cast<std::size_t>(part_.shard_of_node(id))]
+               ->flit_pool);
+    }
     scarab_outstanding_.assign(static_cast<std::size_t>(n), 0);
     scarab_capacity_flits_ = cfg_.retransmit_buffer * cfg_.packet_length;
     nacks_.set_num_nodes(n);
@@ -144,12 +195,6 @@ PacketId Network::inject_packet(NodeId src, NodeId dst, int length,
     tracer_->on_packet_created(id, src, dst, length, now);
   }
   return id;
-}
-
-void Network::on_drop(const Flit& flit, NodeId at, Cycle now) {
-  ++flits_dropped_;
-  if (tracer_ != nullptr) tracer_->on_flit_dropped(flit, at, now);
-  nacks_.schedule(flit, at, now, mesh_, energy_);
 }
 
 void Network::scarab_release_staging() {
@@ -216,92 +261,145 @@ void Network::handle_ejections() {
 
 namespace {
 
-/// Steps every router through its concrete type.  All routers of one
-/// network share the design, so the per-cycle loop dispatches once on
-/// the enum instead of once per router through the vtable; the virtual
-/// interface remains for extensions and tests.
+/// Steps the routers in [begin, end) through their concrete type.  All
+/// routers of one network share the design, so the per-cycle loop
+/// dispatches once on the enum instead of once per router through the
+/// vtable; the virtual interface remains for extensions and tests.
 template <typename ConcreteRouter>
-void step_all(std::vector<std::unique_ptr<Router>>& routers, Cycle now) {
-  for (auto& r : routers) {
-    static_cast<ConcreteRouter*>(r.get())->step(now);
+void step_range(std::vector<std::unique_ptr<Router>>& routers, NodeId begin,
+                NodeId end, Cycle now) {
+  for (NodeId i = begin; i < end; ++i) {
+    static_cast<ConcreteRouter*>(routers[i].get())->step(now);
   }
 }
 
 }  // namespace
 
-void Network::step_routers() {
+void Network::step_routers_shard(int shard) {
+  const NodeId b = part_.node_begin(shard);
+  const NodeId e = part_.node_end(shard);
   switch (cfg_.design) {
     case RouterDesign::FlitBless:
-      step_all<BlessRouter>(routers_, now_);
+      step_range<BlessRouter>(routers_, b, e, now_);
       return;
     case RouterDesign::Scarab:
-      step_all<ScarabRouter>(routers_, now_);
+      step_range<ScarabRouter>(routers_, b, e, now_);
       return;
     case RouterDesign::Buffered4:
     case RouterDesign::Buffered8:
-      step_all<BufferedRouter>(routers_, now_);
+      step_range<BufferedRouter>(routers_, b, e, now_);
       return;
     case RouterDesign::DXbar:
-      step_all<DXbarRouter>(routers_, now_);
+      step_range<DXbarRouter>(routers_, b, e, now_);
       return;
     case RouterDesign::UnifiedXbar:
-      step_all<UnifiedRouter>(routers_, now_);
+      step_range<UnifiedRouter>(routers_, b, e, now_);
       return;
     case RouterDesign::BufferedVC:
-      step_all<VcRouter>(routers_, now_);
+      step_range<VcRouter>(routers_, b, e, now_);
       return;
     case RouterDesign::Afc:
-      step_all<AfcRouter>(routers_, now_);
+      step_range<AfcRouter>(routers_, b, e, now_);
       return;
   }
-  for (auto& r : routers_) r->step(now_);  // unreachable fallback
+  for (NodeId i = b; i < e; ++i) routers_[i]->step(now_);  // unreachable
 }
 
-void Network::step() {
-  // 1. Links move: flits advance one stage, pending credits post, and
-  //    this cycle's arrival (if any) lands in the downstream input
-  //    register.  Only channels with pending work are visited (advance()
-  //    is the identity on a quiescent channel); channels are mutually
-  //    independent, so advancing and delivering in the same sweep is
-  //    equivalent to the former full two-pass formulation.  A channel
-  //    that went quiescent is delisted in place; it re-registers itself
-  //    on its next mutation.
+void Network::sweep_channels(int shard) {
+  // Links move: flits advance one stage, pending credits post, and this
+  // cycle's arrival (if any) lands in the downstream input register —
+  // always a router of this shard, since the shard owns the channel by
+  // its destination.  Only channels with pending work are visited
+  // (advance() is the identity on a quiescent channel); channels are
+  // mutually independent, so advancing and delivering in the same sweep
+  // is equivalent to a full two-pass formulation, and per-shard sweep
+  // order is immaterial.  A channel that went quiescent is delisted in
+  // place and re-registers itself on its next mutation; pinned
+  // (boundary) channels stay listed forever.
+  auto& list = shards_[static_cast<std::size_t>(shard)]->active_channels;
   std::size_t keep = 0;
-  for (std::size_t k = 0; k < active_channels_.size(); ++k) {
-    const std::uint32_t i = active_channels_[k];
+  for (std::size_t k = 0; k < list.size(); ++k) {
+    const std::uint32_t i = list[k];
     Channel& ch = channels_[i];
     ch.advance();
     if (ch.has_arrival()) {
       const Flit f = *ch.take_arrival();
       const ChannelMeta m = channel_meta_[i];
-      auto& slot = routers_[m.dst_node]->in[static_cast<std::size_t>(m.dst_port)];
+      auto& slot =
+          routers_[m.dst_node]->in[static_cast<std::size_t>(m.dst_port)];
       assert(!slot.has_value() && "input register collision");
       if (tracer_ != nullptr) tracer_->on_flit_hop(f, m.dst_node, now_);
       slot = f;
     }
-    if (ch.quiescent()) {
+    if (!ch.pinned() && ch.quiescent()) {
       ch.mark_delisted();
     } else {
-      active_channels_[keep++] = i;
+      list[keep++] = i;
     }
   }
-  active_channels_.resize(keep);
+  list.resize(keep);
+}
 
-  // 2. SCARAB control: NACK deliveries re-queue drops; staging drains
-  //    into the sources while retransmit-buffer space allows.
+void Network::commit_shard_effects() {
+  for (auto& sp : shards_) {
+    ShardState& s = *sp;
+    // SCARAB drops, in node order (shards are ascending contiguous node
+    // ranges, and each shard recorded its drops in node order): the
+    // NACK network's wire arbitration is sequence-numbered, so commit
+    // order must reproduce the single-threaded call order exactly.
+    for (const StagedDrop& d : s.drops) {
+      ++flits_dropped_;
+      if (tracer_ != nullptr) tracer_->on_flit_dropped(d.flit, d.at, now_);
+      nacks_.schedule(d.flit, d.at, now_, mesh_, energy_);
+    }
+    s.drops.clear();
+    // Integer event counts fold order-independently, which is what
+    // keeps energy totals bit-identical across shard counts.
+    energy_.absorb(s.energy);
+    stats_.add_injected(s.tally.take());
+  }
+}
+
+template <typename F>
+void Network::run_sharded(F&& fn) {
+  if (pool_ != nullptr && tracer_ == nullptr) {
+    pool_->run(fn);
+  } else {
+    for (int s = 0; s < part_.shards(); ++s) fn(s);
+  }
+}
+
+void Network::step() {
+  // One cycle, in five phases.  The parallel phases (1, 4) are a data
+  // partition of the single-threaded loop — same per-element work, only
+  // the executing thread differs — and the barriers between phases are
+  // the only synchronization, so every shard count computes the same
+  // cycle function (DESIGN.md §10).
+
+  // 1. [parallel] Links move; arrivals land in input registers.
+  run_sharded([this](int s) { sweep_channels(s); });
+
+  // 2. [serial] SCARAB control: NACK deliveries re-queue drops; staging
+  //    drains into the sources while retransmit-buffer space allows.
   if (cfg_.design == RouterDesign::Scarab) {
     scarab_deliver_nacks();
     scarab_release_staging();
   }
 
-  // 3. Workload injects this cycle's new packets.
+  // 3. [serial] Workload injects this cycle's new packets.  Kept serial
+  //    so the traffic RNG stays one stream with the single-threaded
+  //    draw order — bit-exactness by construction, not reconstruction.
   if (workload_ != nullptr) workload_->begin_cycle(now_, *this);
 
-  // 4. Routers switch.  All inter-router coupling is channel-mediated,
-  //    so iteration order is immaterial.
-  step_routers();
+  // 4. [parallel] Routers switch.  All inter-router coupling is
+  //    channel-mediated and endpoint-disjoint, so iteration order is
+  //    immaterial; shared side effects (drops, energy, injection
+  //    counts) are staged per shard.
+  run_sharded([this](int s) { step_routers_shard(s); });
 
-  // 5. Ejections, reassembly, completion callbacks.
+  // 5. [serial] Fold staged effects, then ejections, reassembly,
+  //    completion callbacks.
+  commit_shard_effects();
   handle_ejections();
 
   ++now_;

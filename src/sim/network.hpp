@@ -16,7 +16,9 @@
 #include "power/energy_model.hpp"
 #include "router/factory.hpp"
 #include "sim/nack_network.hpp"
+#include "sim/shard_pool.hpp"
 #include "topology/mesh.hpp"
+#include "topology/partition.hpp"
 #include "traffic/traffic_gen.hpp"
 
 namespace dxbar {
@@ -47,12 +49,18 @@ class EventTracer {
   }
 };
 
-class Network final : public Injector, public NackSink {
+class Network final : public Injector {
  public:
   /// Builds the mesh of routers for `cfg`; the fault plan defaults to
-  /// the one derived from cfg.fault_fraction / cfg.seed.
+  /// the one derived from cfg.fault_fraction / cfg.seed, the partition
+  /// to MeshPartition::rows(mesh, cfg.shards).  Every variant simulates
+  /// bit-identically — the partition only chooses which thread executes
+  /// which rows (see DESIGN.md §10).
   explicit Network(const SimConfig& cfg);
   Network(const SimConfig& cfg, FaultPlan plan);
+  /// Explicit partition (the fuzz tests drive arbitrary cut lines).
+  Network(const SimConfig& cfg, const MeshPartition& part);
+  Network(const SimConfig& cfg, FaultPlan plan, const MeshPartition& part);
   ~Network() override;
 
   Network(const Network&) = delete;
@@ -80,11 +88,11 @@ class Network final : public Injector, public NackSink {
   PacketId inject_packet(NodeId src, NodeId dst, int length,
                          Cycle now) override;
 
-  // --- NackSink (SCARAB) ----------------------------------------------
-  void on_drop(const Flit& flit, NodeId at, Cycle now) override;
-
   // --- component access -------------------------------------------------
   [[nodiscard]] const Mesh& mesh() const noexcept { return mesh_; }
+  [[nodiscard]] const MeshPartition& partition() const noexcept {
+    return part_;
+  }
   [[nodiscard]] const SimConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] StatsCollector& stats() noexcept { return stats_; }
   [[nodiscard]] EnergyMeter& energy() noexcept { return energy_; }
@@ -93,10 +101,12 @@ class Network final : public Injector, public NackSink {
   [[nodiscard]] const LinkFaultPlan& link_faults() const noexcept {
     return link_faults_;
   }
-  /// The arena backing source queues and SCARAB staging; a drained
-  /// network must report flit_pool().live() == 0.
-  [[nodiscard]] const FlitPool& flit_pool() const noexcept {
-    return flit_pool_;
+  /// Flits currently alive across the per-shard arenas backing source
+  /// queues and SCARAB staging; a drained network must report 0.
+  [[nodiscard]] std::size_t flit_pool_live() const noexcept {
+    std::size_t live = 0;
+    for (const auto& s : shards_) live += s->flit_pool.live();
+    return live;
   }
   /// Which routing acceleration structure this network built (mutually
   /// exclusive; both false on small meshes with no link faults).
@@ -155,10 +165,51 @@ class Network final : public Injector, public NackSink {
  private:
   /// Delivery endpoint of channels_[i]: which router input register the
   /// arrival lands in.  Kept in a parallel array so the per-cycle
-  /// channel sweep walks two dense arrays and nothing else.
+  /// channel sweep walks two dense arrays and nothing else.  The source
+  /// node rides along so build() can classify boundary channels.
   struct ChannelMeta {
+    NodeId src_node = kInvalidNode;
     NodeId dst_node = kInvalidNode;
     int dst_port = 0;
+  };
+
+  /// A SCARAB drop recorded during the parallel router phase.  Drops
+  /// mutate shared state (drop counter, NACK network, tracer), so each
+  /// shard stages its own and the network commits them serially in
+  /// node order — which is exactly the order the single-threaded loop
+  /// produced them in, because shard node ranges are contiguous and
+  /// ascending.
+  struct StagedDrop {
+    Flit flit;
+    NodeId at = kInvalidNode;
+  };
+
+  /// Everything one worker thread mutates during the parallel phases.
+  /// Cache-line aligned so neighbouring shards never false-share; the
+  /// whole struct is private to its thread between barriers, and the
+  /// serial commit step folds it into the shared aggregates each cycle,
+  /// leaving observable state identical to the single-threaded run.
+  struct alignas(64) ShardState final : NackSink {
+    ShardState(RouterDesign design, Cycle window_start, Cycle window_end)
+        : energy(design), tally(window_start, window_end) {}
+
+    /// Slots (into channels_) this shard must advance; boundary
+    /// channels are pinned here permanently.
+    std::vector<std::uint32_t> active_channels;
+    /// Arena backing this shard's source queues and SCARAB staging.
+    FlitPool flit_pool;
+    /// Always-enabled event counter; the fold into the network meter is
+    /// gated by that meter's enable flag (constant within a cycle, so
+    /// gating at the fold equals gating at the event).
+    EnergyMeter energy;
+    InjectionTally tally;
+    std::vector<StagedDrop> drops;
+
+    // NackSink for this shard's routers: stage, commit later.
+    void on_drop(const Flit& flit, NodeId at, Cycle now) override {
+      (void)now;
+      drops.push_back({flit, at});
+    }
   };
 
   [[nodiscard]] int link_index(NodeId node, int dir) const noexcept {
@@ -174,7 +225,17 @@ class Network final : public Injector, public NackSink {
   }
 
   void build();
-  void step_routers();
+  /// Runs fn(s) for every shard — on the pool when one exists and no
+  /// tracer is attached, inline (sequentially, same per-shard work)
+  /// otherwise.  Tracers get the inline path so their callbacks fire on
+  /// one thread; shard-count invariance makes that run identical.
+  template <typename F>
+  void run_sharded(F&& fn);
+  void sweep_channels(int shard);
+  void step_routers_shard(int shard);
+  /// Serially folds per-shard effects (staged drops, energy counts,
+  /// injection tallies) into the shared aggregates, in shard order.
+  void commit_shard_effects();
   void handle_ejections();
   void scarab_release_staging();
   void scarab_deliver_nacks();
@@ -184,6 +245,7 @@ class Network final : public Injector, public NackSink {
 
   SimConfig cfg_;
   Mesh mesh_;
+  MeshPartition part_;
   EnergyMeter energy_;
   FaultPlan faults_;
   LinkFaultPlan link_faults_;
@@ -194,19 +256,24 @@ class Network final : public Injector, public NackSink {
   EventTracer* tracer_ = nullptr;
 
   /// All existing channels, contiguous in (node, dir) order; the
-  /// per-cycle sweep is one pass over this array.
+  /// per-cycle sweep is one pass over the per-shard slot lists.  Each
+  /// channel belongs to the shard of its destination router; slots with
+  /// in-flight flits / pending credits / stop flips self-register on
+  /// their owner's list and are delisted when quiescent (boundary
+  /// channels stay pinned).  Capacity is reserved up front and each
+  /// channel registers at most once, so steady-state maintenance never
+  /// allocates.
   std::vector<Channel> channels_;
   std::vector<ChannelMeta> channel_meta_;  ///< parallel to channels_
-  /// Slots of channels with in-flight flits / pending credits / stop
-  /// flips; the only channels step() must advance.  Capacity is reserved
-  /// to channels_.size() up front and each channel registers at most
-  /// once, so steady-state maintenance never allocates.
-  std::vector<std::uint32_t> active_channels_;
   /// link_index(node, dir) -> slot in channels_, or -1 when absent.
   std::vector<std::int32_t> link_slot_;
 
   std::vector<std::unique_ptr<Router>> routers_;
-  FlitPool flit_pool_;
+  /// Per-shard mutable state; size part_.shards(), heap-allocated so the
+  /// alignas(64) is honoured and addresses stay stable.
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  /// Worker threads (null when single-sharded).
+  std::unique_ptr<ShardPool> pool_;
   std::vector<InjectionQueue> sources_;
 
   /// Packet reassembly at the destination MSHRs.

@@ -127,9 +127,11 @@ void Network::load(SnapshotReader& r) {
   if (r.count() != channels_.size()) {
     throw SnapshotError("channel count mismatch");
   }
-  // Channel::load re-registers each non-quiescent channel; drop the
-  // current active list first so stale slots never linger.
-  active_channels_.clear();
+  // Channel::load re-registers each non-quiescent (or pinned) channel
+  // on its owning shard's active list; drop the current lists first so
+  // stale slots never linger.  Shard layout is structural, not part of
+  // the stream — a snapshot taken at any shard count restores here.
+  for (auto& s : shards_) s->active_channels.clear();
   for (Channel& ch : channels_) ch.load(r);
 
   (void)r.expect_section(kSecRouters);

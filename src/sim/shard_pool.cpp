@@ -1,0 +1,61 @@
+#include "sim/shard_pool.hpp"
+
+namespace dxbar {
+
+ShardPool::ShardPool(int shards) : shards_(shards < 1 ? 1 : shards) {
+  workers_.reserve(static_cast<std::size_t>(shards_ - 1));
+  for (int s = 1; s < shards_; ++s) {
+    workers_.emplace_back([this, s] { worker_loop(s); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ShardPool::run(const std::function<void(int)>& fn) {
+  if (shards_ == 1) {  // no workers; nothing to publish
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    remaining_ = shards_ - 1;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+
+  fn(0);  // caller is shard 0
+
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void ShardPool::worker_loop(int shard) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock,
+                     [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(shard);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace dxbar

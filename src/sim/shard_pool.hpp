@@ -1,0 +1,56 @@
+// Persistent fork-join worker pool for sharded Network stepping.
+//
+// `run(fn)` invokes fn(s) for every shard s in [0, shards); the calling
+// thread executes shard 0 itself and the pool's shards-1 resident
+// workers execute the rest.  run() returns only after every shard
+// finished, so each call is a full barrier — Network::step() issues one
+// run() per phase, which is exactly the per-phase synchronization the
+// sharded cycle semantics require.
+//
+// Synchronization is a plain mutex + two condvars (generation counter to
+// publish work, remaining counter to detect completion); everything the
+// workers touch is handed over under the mutex, so the pool itself is
+// ThreadSanitizer-clean and all ordering questions reduce to what fn
+// does.  Workers park between calls — an idle pool burns no CPU.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dxbar {
+
+class ShardPool {
+ public:
+  /// Spawns `shards - 1` worker threads (a 1-shard pool has none).
+  explicit ShardPool(int shards);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  [[nodiscard]] int shards() const noexcept { return shards_; }
+
+  /// Runs fn(0) .. fn(shards-1) concurrently; returns when all are done.
+  /// Not reentrant and not thread-safe: one run() at a time, from the
+  /// thread that owns the pool.
+  void run(const std::function<void(int shard)>& fn);
+
+ private:
+  void worker_loop(int shard);
+
+  int shards_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;  ///< bumped per run(); wakes workers
+  int remaining_ = 0;             ///< workers still running this job
+  bool stop_ = false;
+};
+
+}  // namespace dxbar

@@ -26,7 +26,8 @@ class Channel {
  public:
   /// `credits` is the downstream buffer capacity backing this link, or
   /// kUnlimitedCredits for bufferless (never-blocking) links.
-  explicit Channel(int credits = kUnlimitedCredits) : credits_(credits) {}
+  explicit Channel(int credits = kUnlimitedCredits)
+      : credits_(credits), limited_(credits != kUnlimitedCredits) {}
 
   /// Virtual-channel variant: `num_vcs` independent credit pools of
   /// `per_vc_credits` each (VC baseline router).  The aggregate
@@ -34,6 +35,7 @@ class Channel {
   /// pool sum; per-VC admission uses the *_vc methods.
   Channel(int num_vcs, int per_vc_credits)
       : credits_(num_vcs * per_vc_credits),
+        limited_(true),
         vc_credits_(static_cast<std::size_t>(num_vcs), per_vc_credits),
         vc_pending_(static_cast<std::size_t>(num_vcs), 0) {}
 
@@ -72,7 +74,7 @@ class Channel {
   /// this cycle.
   [[nodiscard]] bool can_send() const noexcept {
     if (staged_.has_value() || stop_) return false;
-    return credits_ == kUnlimitedCredits || credits_ > 0;
+    return !limited_ || credits_ > 0;
   }
 
   /// Stage a flit for link traversal; consumes one credit when limited.
@@ -81,7 +83,7 @@ class Channel {
   /// into a stopped receiver, where the arrival becomes a must-win flit.
   void send(const Flit& f) {
     assert(can_send_ignoring_stop());
-    if (credits_ != kUnlimitedCredits) --credits_;
+    if (limited_) --credits_;
     staged_ = f;
     ++total_sends_;
     touch();
@@ -119,8 +121,12 @@ class Channel {
 
   /// Downstream frees a buffer slot (or forwarded the flit without ever
   /// buffering it); the credit becomes usable upstream next cycle.
+  /// Gated on the immutable limited_ flag, NOT on credits_: on a pinned
+  /// boundary channel this runs in the receiver's shard while the
+  /// sender's shard may be decrementing credits_ in send(), so the
+  /// receiver side must not read the live counter.
   void return_credit() noexcept {
-    if (credits_ != kUnlimitedCredits) {
+    if (limited_) {
       ++pending_credits_;
       touch();
     }
@@ -144,7 +150,7 @@ class Channel {
   /// may override it.
   [[nodiscard]] bool can_send_ignoring_stop() const noexcept {
     if (staged_.has_value()) return false;
-    return credits_ == kUnlimitedCredits || credits_ > 0;
+    return !limited_ || credits_ > 0;
   }
 
   // ---- per-cycle advance, called once by the network --------------------
@@ -204,6 +210,20 @@ class Channel {
   /// The network delists a quiescent channel during its sweep.
   void mark_delisted() noexcept { listed_ = false; }
 
+  /// Permanently registers this channel on its active list: it is swept
+  /// every cycle and never delisted, so touch() is a no-op forever after.
+  /// Sharded networks pin every boundary channel (endpoints in different
+  /// shards) — both endpoint routers may call send/return_credit/set_stop
+  /// concurrently from their own threads, and with the channel pinned
+  /// those calls mutate only endpoint-disjoint fields, never the shared
+  /// list bookkeeping.  Structural, so not serialized; re-applied by the
+  /// network on construction and honoured by load().
+  void pin() {
+    pinned_ = true;
+    touch();
+  }
+  [[nodiscard]] bool pinned() const noexcept { return pinned_; }
+
   // ---- snapshot protocol ----------------------------------------------
 
   void save(SnapshotWriter& w) const {
@@ -241,7 +261,7 @@ class Channel {
     in_flight_ = load_optional_flit(r);
     arrived_ = load_optional_flit(r);
     listed_ = false;
-    if (!quiescent()) touch();
+    if (pinned_ || !quiescent()) touch();
   }
 
  private:
@@ -253,6 +273,10 @@ class Channel {
   }
 
   int credits_;
+  /// Construction-time constant: this channel carries a finite credit
+  /// pool.  Receiver-side paths branch on this instead of comparing the
+  /// (sender-mutated) credits_ counter against the sentinel.
+  bool limited_;
   int pending_credits_ = 0;
   std::vector<int> vc_credits_;  ///< empty unless VC-constructed
   std::vector<int> vc_pending_;
@@ -260,6 +284,7 @@ class Channel {
   std::vector<std::uint32_t>* active_list_ = nullptr;
   std::uint32_t slot_ = 0;
   bool listed_ = false;
+  bool pinned_ = false;
   bool stop_ = false;
   bool stop_pending_ = false;
   std::optional<Flit> staged_;     ///< sent this cycle (ST just finished)

@@ -1,0 +1,50 @@
+#include "topology/partition.hpp"
+
+#include <cassert>
+
+namespace dxbar {
+
+MeshPartition::MeshPartition(int width, int height,
+                             std::vector<int> row_start)
+    : width_(width), height_(height), row_start_(std::move(row_start)) {
+  assert(row_start_.size() >= 2);
+  assert(row_start_.front() == 0 && row_start_.back() == height_);
+  shard_of_row_.resize(static_cast<std::size_t>(height_));
+  for (int s = 0; s + 1 < static_cast<int>(row_start_.size()); ++s) {
+    assert(row_start_[static_cast<std::size_t>(s)] <
+           row_start_[static_cast<std::size_t>(s) + 1]);
+    for (int y = row_start_[static_cast<std::size_t>(s)];
+         y < row_start_[static_cast<std::size_t>(s) + 1]; ++y) {
+      shard_of_row_[static_cast<std::size_t>(y)] = s;
+    }
+  }
+}
+
+MeshPartition MeshPartition::rows(const Mesh& mesh, int shards) {
+  const int h = mesh.height();
+  if (shards < 1) shards = 1;
+  if (shards > h) shards = h;
+  std::vector<int> starts(static_cast<std::size_t>(shards) + 1);
+  for (int s = 0; s <= shards; ++s) {
+    // Balanced split: the first (h % shards) strips get the extra row.
+    starts[static_cast<std::size_t>(s)] =
+        (s * h) / shards;
+  }
+  return MeshPartition(mesh.width(), h, std::move(starts));
+}
+
+MeshPartition MeshPartition::from_row_cuts(const Mesh& mesh,
+                                           const std::vector<int>& cuts) {
+  std::vector<int> starts;
+  starts.reserve(cuts.size() + 2);
+  starts.push_back(0);
+  for (int c : cuts) {
+    assert(c > 0 && c < mesh.height() && "cut row out of range");
+    assert(c > starts.back() && "cut rows must be strictly increasing");
+    starts.push_back(c);
+  }
+  starts.push_back(mesh.height());
+  return MeshPartition(mesh.width(), mesh.height(), std::move(starts));
+}
+
+}  // namespace dxbar

@@ -1,0 +1,72 @@
+// Row-strip partition of a mesh for sharded in-sim parallelism.
+//
+// Each shard owns a contiguous band of rows; with the row-major node
+// numbering (id = y * width + x) that makes every shard a contiguous
+// NodeId range, so per-shard loops are plain [begin, end) sweeps and the
+// concatenation of the shards in index order reproduces the exact
+// whole-mesh iteration order of a single-threaded run — the property the
+// shard-count-invariance guarantee leans on (see DESIGN.md §10).
+//
+// A directed channel is owned by the shard of its *destination* router
+// (the side whose input register the arrival lands in).  A channel whose
+// endpoints live in different shards is a boundary channel; the network
+// pins those so their bookkeeping never crosses threads.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "topology/mesh.hpp"
+
+namespace dxbar {
+
+class MeshPartition {
+ public:
+  /// Even split of `mesh` into `shards` row strips.  The count is
+  /// clamped to [1, height]: a shard must own at least one full row.
+  static MeshPartition rows(const Mesh& mesh, int shards);
+
+  /// Explicit interior cut rows (each in (0, height), strictly
+  /// increasing): `cuts = {2, 5}` on an 8-row mesh yields strips
+  /// [0,2), [2,5), [5,8).  Used by the partition fuzz tests to exercise
+  /// arbitrary (including maximally unbalanced) strip placements.
+  static MeshPartition from_row_cuts(const Mesh& mesh,
+                                     const std::vector<int>& cuts);
+
+  [[nodiscard]] int shards() const noexcept {
+    return static_cast<int>(row_start_.size()) - 1;
+  }
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+
+  [[nodiscard]] int shard_of_node(NodeId n) const noexcept {
+    return shard_of_row_[static_cast<std::size_t>(n) /
+                         static_cast<std::size_t>(width_)];
+  }
+
+  /// Contiguous node range owned by shard `s`.
+  [[nodiscard]] NodeId node_begin(int s) const noexcept {
+    return static_cast<NodeId>(row_start_[static_cast<std::size_t>(s)] *
+                               width_);
+  }
+  [[nodiscard]] NodeId node_end(int s) const noexcept {
+    return static_cast<NodeId>(row_start_[static_cast<std::size_t>(s) + 1] *
+                               width_);
+  }
+
+  /// Both endpoints in one shard?  False for channels crossing a cut
+  /// line (and for torus wrap links between the first and last strips).
+  [[nodiscard]] bool same_shard(NodeId a, NodeId b) const noexcept {
+    return shard_of_node(a) == shard_of_node(b);
+  }
+
+ private:
+  MeshPartition(int width, int height, std::vector<int> row_start);
+
+  int width_;
+  int height_;
+  std::vector<int> row_start_;     ///< size shards+1; [s] .. [s+1] rows
+  std::vector<int> shard_of_row_;  ///< size height
+};
+
+}  // namespace dxbar

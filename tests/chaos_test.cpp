@@ -3,9 +3,13 @@
 // simulate cleanly — conserve flits, drain, and produce sane statistics.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "common/rng.hpp"
 #include "sim/network.hpp"
 #include "sim/sim_runner.hpp"
+#include "topology/partition.hpp"
 
 namespace dxbar {
 namespace {
@@ -91,6 +95,103 @@ TEST_P(ChaosTest, RandomConfigValidatesOrSimulatesCleanly) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest, ::testing::Range<std::uint64_t>(1, 41),
                          [](const auto& info) {
                            return "c" + std::to_string(info.param);
+                         });
+
+// --- randomized-partition fuzz ----------------------------------------
+//
+// The shard-equivalence suite (determinism_test.cpp) covers the even
+// row split the production path uses; this family drives *arbitrary*
+// cut lines — including maximally unbalanced ones (a 1-row shard next
+// to a 9-row shard) — across random designs, loads, and injected link
+// faults, asserting flit conservation and bit-exact stats against the
+// single-threaded run.  Any partition of the rows must be unobservable.
+
+/// Open-loop run on an explicitly partitioned network, with the same
+/// phase structure as run_open_loop.
+RunStats run_with_partition(const SimConfig& cfg, const MeshPartition& part) {
+  Network net(cfg, part);
+  const Mesh m(cfg.mesh_width, cfg.mesh_height, cfg.torus);
+  SyntheticWorkload w(cfg, m);
+  net.set_workload(&w);
+  const RunStats s = finish_open_loop(net, w);
+  if (s.drained) {
+    EXPECT_TRUE(net.idle()) << cfg.describe();
+    EXPECT_EQ(net.flits_created(), net.flits_delivered()) << cfg.describe();
+    EXPECT_EQ(net.packets_created(), net.packets_delivered())
+        << cfg.describe();
+    EXPECT_EQ(net.flit_pool_live(), 0u) << cfg.describe();
+  }
+  return s;
+}
+
+void expect_stats_identical(const RunStats& a, const RunStats& b,
+                            const SimConfig& cfg) {
+  EXPECT_EQ(a.accepted_load, b.accepted_load) << cfg.describe();
+  EXPECT_EQ(a.accepted_load_stddev, b.accepted_load_stddev);
+  EXPECT_EQ(a.avg_packet_latency, b.avg_packet_latency) << cfg.describe();
+  EXPECT_EQ(a.avg_network_latency, b.avg_network_latency);
+  EXPECT_EQ(a.latency_p50, b.latency_p50);
+  EXPECT_EQ(a.latency_p95, b.latency_p95);
+  EXPECT_EQ(a.latency_p99, b.latency_p99);
+  EXPECT_EQ(a.latency_max, b.latency_max);
+  EXPECT_EQ(a.avg_hops, b.avg_hops);
+  EXPECT_EQ(a.deflections_per_flit, b.deflections_per_flit);
+  EXPECT_EQ(a.retransmits_per_flit, b.retransmits_per_flit);
+  EXPECT_EQ(a.packets_completed, b.packets_completed) << cfg.describe();
+  EXPECT_EQ(a.flits_ejected, b.flits_ejected);
+  EXPECT_EQ(a.flits_injected, b.flits_injected);
+  EXPECT_EQ(a.drained, b.drained);
+  EXPECT_EQ(a.energy_buffer_nj, b.energy_buffer_nj);
+  EXPECT_EQ(a.energy_crossbar_nj, b.energy_crossbar_nj);
+  EXPECT_EQ(a.energy_link_nj, b.energy_link_nj);
+  EXPECT_EQ(a.energy_control_nj, b.energy_control_nj) << cfg.describe();
+}
+
+class ShardFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardFuzzTest, RandomPartitionIsBitExactAndConserving) {
+  Rng rng(GetParam() * 0xD1B54A32D192ED03ULL + 5);
+
+  SimConfig cfg;
+  // Designs with a deflection escape valve, so random link faults are
+  // always a valid combination.
+  constexpr RouterDesign valve[] = {
+      RouterDesign::FlitBless, RouterDesign::Scarab, RouterDesign::DXbar,
+      RouterDesign::UnifiedXbar, RouterDesign::Afc};
+  cfg.design = valve[rng.below(5)];
+  cfg.mesh_width = 4 + static_cast<int>(rng.below(5));    // 4..8
+  cfg.mesh_height = 4 + static_cast<int>(rng.below(7));   // 4..10
+  cfg.offered_load = 0.05 + 0.35 * rng.uniform();
+  cfg.packet_length = 1 + static_cast<int>(rng.below(5));
+  if (rng.bernoulli(0.5)) cfg.link_fault_fraction = 0.15 * rng.uniform();
+  if (rng.bernoulli(0.3)) {
+    cfg.fault_fraction = rng.uniform();
+    cfg.fault_onset_spread = 1 + rng.below(300);
+  }
+  cfg.warmup_cycles = 100;
+  cfg.measure_cycles = 500;
+  cfg.seed = GetParam();
+  ASSERT_EQ(cfg.validate(), "") << cfg.describe();
+
+  // Random interior cut lines: each row boundary becomes a cut with
+  // p=0.4, yielding anywhere from one shard to one-per-row.
+  const Mesh mesh(cfg.mesh_width, cfg.mesh_height);
+  std::vector<int> cuts;
+  for (int y = 1; y < cfg.mesh_height; ++y) {
+    if (rng.bernoulli(0.4)) cuts.push_back(y);
+  }
+  const MeshPartition part = MeshPartition::from_row_cuts(mesh, cuts);
+
+  const RunStats serial = run_open_loop(cfg);  // cfg.shards == 1
+  const RunStats sharded = run_with_partition(cfg, part);
+  SCOPED_TRACE("shards=" + std::to_string(part.shards()));
+  expect_stats_identical(serial, sharded, cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 25),
+                         [](const auto& info) {
+                           return "s" + std::to_string(info.param);
                          });
 
 TEST(Describe, MentionsEveryHeadlineKnob) {

@@ -77,6 +77,136 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+// --- sharded in-sim parallelism ---------------------------------------
+//
+// The shard-count-invariance guarantee (DESIGN.md §10): splitting one
+// simulation across threads is purely an execution choice.  Final
+// RunStats AND the per-packet delivery records must be bit-exact against
+// the single-threaded run for every design, mesh size, and shard count —
+// doubles included.
+
+void expect_identical_packets(const std::vector<PacketRecord>& a,
+                              const std::vector<PacketRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("packet record " + std::to_string(i));
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+    EXPECT_EQ(a[i].length, b[i].length);
+    EXPECT_EQ(a[i].created, b[i].created);
+    EXPECT_EQ(a[i].injected, b[i].injected);
+    EXPECT_EQ(a[i].completed, b[i].completed);
+    EXPECT_EQ(a[i].total_hops, b[i].total_hops);
+    EXPECT_EQ(a[i].total_deflections, b[i].total_deflections);
+    EXPECT_EQ(a[i].total_retransmits, b[i].total_retransmits);
+  }
+}
+
+struct ShardCase {
+  RouterDesign design;
+  int mesh = 8;  ///< width == height
+};
+
+class ShardEquivalenceTest : public ::testing::TestWithParam<ShardCase> {};
+
+TEST_P(ShardEquivalenceTest, ShardedRunIsBitIdenticalToSingleThreaded) {
+  const ShardCase& c = GetParam();
+  SimConfig cfg;
+  cfg.design = c.design;
+  cfg.mesh_width = c.mesh;
+  cfg.mesh_height = c.mesh;
+  cfg.offered_load = 0.30;
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = c.mesh >= 16 ? 600 : 1200;
+  cfg.seed = 11;
+
+  cfg.shards = 1;
+  const DetailedRun serial = run_open_loop_detailed(cfg);
+  for (int shards : {2, 4}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    cfg.shards = shards;
+    const DetailedRun sharded = run_open_loop_detailed(cfg);
+    expect_identical(serial.stats, sharded.stats);
+    expect_identical_packets(serial.packets, sharded.packets);
+  }
+}
+
+std::vector<ShardCase> shard_cases() {
+  std::vector<ShardCase> cases;
+  for (RouterDesign d : kAllDesigns) {
+    cases.push_back({d, 8});
+    cases.push_back({d, 16});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesigns, ShardEquivalenceTest, ::testing::ValuesIn(shard_cases()),
+    [](const ::testing::TestParamInfo<ShardCase>& info) {
+      std::string name(to_string(info.param.design));
+      for (char& c : name) {
+        if (c == '-' || c == ' ') c = '_';
+      }
+      return name + "_" + std::to_string(info.param.mesh) + "x" +
+             std::to_string(info.param.mesh);
+    });
+
+TEST(ShardEquivalence, FaultPlansWithBistTimersStayBitExact) {
+  // Crossbar faults manifest and get detected on per-node BIST timers;
+  // both are pure functions of (node, cycle), so sharding must not move
+  // any routing decision.  Staggered onsets keep detection transients
+  // firing throughout the run.
+  SimConfig cfg;
+  cfg.design = RouterDesign::DXbar;
+  cfg.fault_fraction = 0.5;
+  cfg.fault_onset_spread = 400;
+  cfg.offered_load = 0.25;
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 1200;
+  cfg.seed = 23;
+
+  cfg.shards = 1;
+  const DetailedRun serial = run_open_loop_detailed(cfg);
+  cfg.shards = 4;
+  const DetailedRun sharded = run_open_loop_detailed(cfg);
+  expect_identical(serial.stats, sharded.stats);
+  expect_identical_packets(serial.packets, sharded.packets);
+}
+
+TEST(ShardEquivalence, ScarabNackNetworkStaysBitExact) {
+  // SCARAB drops cross shard boundaries through the staged-drop commit;
+  // the NACK network's wire arbitration is sequence-ordered, so this
+  // pins the commit order to the single-threaded call order.  High load
+  // forces plenty of drops.
+  SimConfig cfg;
+  cfg.design = RouterDesign::Scarab;
+  cfg.offered_load = 0.45;
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 1200;
+  cfg.seed = 29;
+
+  cfg.shards = 1;
+  const DetailedRun serial = run_open_loop_detailed(cfg);
+  for (int shards : {2, 4, 8}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    cfg.shards = shards;
+    const DetailedRun sharded = run_open_loop_detailed(cfg);
+    expect_identical(serial.stats, sharded.stats);
+    expect_identical_packets(serial.packets, sharded.packets);
+  }
+}
+
+TEST(ShardEquivalence, ShardCountClampsToMeshHeight) {
+  // More shards than rows degenerates to one row per shard.
+  SimConfig cfg = small_cfg(RouterDesign::DXbar);
+  cfg.shards = 1;
+  const RunStats serial = run_open_loop(cfg);
+  cfg.shards = 64;  // 4-row mesh: clamps to 4
+  const RunStats sharded = run_open_loop(cfg);
+  expect_identical(serial, sharded);
+}
+
 TEST(SweepDeterminism, ResultsIndependentOfThreadCount) {
   // A mixed batch (several designs x loads) exercises work stealing with
   // unequal point costs; results must align with the input order and be

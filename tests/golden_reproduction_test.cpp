@@ -88,5 +88,41 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(info.param.name) + "_load" + std::to_string(pct);
     });
 
+// The sharded execution path must reproduce the same pre-optimization
+// goldens: threading one simulation is an execution choice, not a
+// behaviour change.  One load point per design keeps this subset cheap;
+// the full cross-design sweep lives in determinism_test.cpp.
+class GoldenShardReproductionTest : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenShardReproductionTest, ShardedRunMatchesGoldensExactly) {
+  const Golden& g = GetParam();
+  for (int shards : {2, 4}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    SimConfig cfg;
+    cfg.design = g.design;
+    cfg.offered_load = g.load;
+    cfg.shards = shards;
+
+    const RunStats s = run_open_loop(cfg);
+
+    EXPECT_EQ(s.accepted_load, g.accepted_load);
+    EXPECT_EQ(s.avg_packet_latency, g.avg_packet_latency);
+    EXPECT_EQ(s.avg_network_latency, g.avg_network_latency);
+    EXPECT_EQ(s.deflections_per_flit, g.deflections_per_flit);
+    EXPECT_EQ(s.flits_injected, g.flits_injected);
+    EXPECT_EQ(s.flits_ejected, g.flits_ejected);
+    EXPECT_EQ(s.packets_completed, g.packets_completed);
+    EXPECT_EQ(s.drained, g.drained);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pinned, GoldenShardReproductionTest,
+    ::testing::Values(kGoldens[1], kGoldens[4], kGoldens[7]),
+    [](const ::testing::TestParamInfo<Golden>& info) {
+      const int pct = static_cast<int>(info.param.load * 100 + 0.5);
+      return std::string(info.param.name) + "_load" + std::to_string(pct);
+    });
+
 }  // namespace
 }  // namespace dxbar

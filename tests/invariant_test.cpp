@@ -343,7 +343,7 @@ TEST_P(FlitConservationFuzz, DrainsConservesAndFreesPool) {
     for (NodeId n = 0; n < static_cast<NodeId>(cfg.num_nodes()); ++n) {
       EXPECT_EQ(net.router(n).occupancy(), 0);
     }
-    EXPECT_EQ(net.flit_pool().live(), 0u);
+    EXPECT_EQ(net.flit_pool_live(), 0u);
   }
 }
 

@@ -81,6 +81,69 @@ void expect_fork_bit_exact(const SimConfig& cfg, Cycle snap_at) {
   EXPECT_EQ(stats_bytes(resumed), stats_bytes(straight));
 }
 
+// --- snapshot x sharding interplay ------------------------------------
+//
+// Shard layout is structural, not serialized: a DXSN checkpoint taken at
+// any shard count must restore into a network running at any other, and
+// the resumed run must match the straight single-threaded run bit-exactly.
+// Snapshots happen at step boundaries, where per-shard transients (staged
+// drops, unfolded energy counts, injection tallies) are all committed, so
+// there is nothing shard-shaped to serialize.
+void expect_cross_shard_fork_bit_exact(SimConfig cfg, Cycle snap_at,
+                                       int save_shards, int restore_shards) {
+  cfg.shards = 1;
+  const RunStats straight = run_open_loop(cfg);
+
+  cfg.shards = save_shards;
+  Network net(cfg);
+  SyntheticWorkload workload(cfg, net.mesh());
+  net.set_workload(&workload);
+  advance_open_loop(net, snap_at);
+  ASSERT_EQ(net.now(), snap_at);
+  const auto bytes = snapshot_with_workload(net, workload);
+
+  cfg.shards = restore_shards;
+  Network fresh(cfg);
+  SyntheticWorkload fresh_workload(cfg, fresh.mesh());
+  fresh.set_workload(&fresh_workload);
+  restore_with_workload(fresh, fresh_workload, bytes);
+  EXPECT_EQ(fresh.now(), snap_at);
+  EXPECT_EQ(fresh.flits_created(), net.flits_created());
+
+  const RunStats resumed = finish_open_loop(fresh, fresh_workload);
+  EXPECT_EQ(stats_bytes(resumed), stats_bytes(straight));
+}
+
+class ShardSnapshotInterplayTest
+    : public ::testing::TestWithParam<RouterDesign> {};
+
+TEST_P(ShardSnapshotInterplayTest, SaveShardedRestoreAtDifferentShardCount) {
+  SimConfig cfg = small_cfg(GetParam());
+  cfg.mesh_width = 8;
+  cfg.mesh_height = 8;
+  cfg.offered_load = 0.30;
+  // 4-way save -> 2-way restore, mid-measurement (retransmissions and
+  // BIST-free steady state in flight).
+  expect_cross_shard_fork_bit_exact(cfg, 350, 4, 2);
+  // Sharded save -> single-threaded restore and the reverse.
+  expect_cross_shard_fork_bit_exact(cfg, 350, 2, 1);
+  expect_cross_shard_fork_bit_exact(cfg, 350, 1, 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, ShardSnapshotInterplayTest,
+                         ::testing::Values(RouterDesign::DXbar,
+                                           RouterDesign::Scarab,
+                                           RouterDesign::BufferedVC),
+                         [](const auto& info) {
+                           std::string name;
+                           for (char c : to_string(info.param)) {
+                             if (std::isalnum(static_cast<unsigned char>(c))) {
+                               name += c;
+                             }
+                           }
+                           return name;
+                         });
+
 class SnapshotDesignTest : public ::testing::TestWithParam<RouterDesign> {};
 
 TEST_P(SnapshotDesignTest, MidMeasureForkIsBitExact) {
