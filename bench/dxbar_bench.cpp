@@ -16,6 +16,7 @@
 
 #include "exp/registry.hpp"
 #include "exp/runner.hpp"
+#include "sim/replica_batch.hpp"
 
 using namespace dxbar;
 using namespace dxbar::exp;
@@ -36,6 +37,9 @@ void print_usage(std::FILE* to) {
       "                  (`*` and `?`; composes with --all and names)\n"
       "  --quick         ~4x shorter phase windows (smoke runs)\n"
       "  --threads N     worker threads (0 = hardware concurrency)\n"
+      "  --seeds N       run every grid point N times with independent\n"
+      "                  measurement seeds (one shared warmup, lockstep\n"
+      "                  replicas); tables gain mean and ±ci95 columns\n"
       "  --csv DIR       mirror every table to DIR/<exp>_<title>.csv\n"
       "  --json DIR      write DIR/<exp>.json (schema v%d)\n"
       "  --resume DIR    run grids as crash-resumable campaigns in DIR\n"
@@ -79,9 +83,15 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // One warm-snapshot cache for the whole session: experiments sharing
+  // a (design, warmup) pair — common under --all — warm it exactly once.
+  WarmupCache warm_cache;
+
   RunOptions opt;
   opt.quick = args.quick;
   opt.threads = args.threads;
+  opt.seeds = args.seeds;
+  opt.warm_cache = &warm_cache;
   opt.csv_dir = args.csv_dir;
   opt.json_dir = args.json_dir;
   opt.resume_dir = args.resume_dir;
@@ -109,6 +119,13 @@ int main(int argc, char** argv) {
     if (!opt.json_dir.empty() && !write_json_result(*e, result, opt)) {
       rc = 1;
     }
+  }
+  if (warm_cache.hits() + warm_cache.misses() > 0) {
+    std::fprintf(stderr,
+                 "dxbar_bench: session warm cache: %zu hit(s), %zu miss(es), "
+                 "%zu snapshot(s) retained\n",
+                 warm_cache.hits(), warm_cache.misses(),
+                 warm_cache.entries());
   }
   return rc;
 }

@@ -169,7 +169,8 @@ std::string SimConfig::describe() const {
       "faults            crossbar %.2f (detect %llu, spread %llu), "
       "links %.2f\n"
       "shards            %d\n"
-      "seed              %llu\n",
+      "seed              %llu\n"
+      "measure_seed      %llu\n",
       mesh_width, mesh_height, torus ? " torus" : "",
       std::string(to_string(design)).c_str(),
       std::string(to_string(routing)).c_str(),
@@ -180,7 +181,8 @@ std::string SimConfig::describe() const {
       static_cast<unsigned long long>(drain_cycles), fault_fraction,
       static_cast<unsigned long long>(fault_detect_delay),
       static_cast<unsigned long long>(fault_onset_spread),
-      link_fault_fraction, shards, static_cast<unsigned long long>(seed));
+      link_fault_fraction, shards, static_cast<unsigned long long>(seed),
+      static_cast<unsigned long long>(measure_seed));
   return buf;
 }
 
@@ -262,6 +264,9 @@ std::string apply_override(SimConfig& cfg, std::string_view arg) {
   } else if (key == "seed") {
     if (!parse_int(val, i)) return bad();
     cfg.seed = static_cast<std::uint64_t>(i);
+  } else if (key == "measure_seed") {
+    if (!parse_int(val, i)) return bad();
+    cfg.measure_seed = static_cast<std::uint64_t>(i);
   } else {
     return "unknown key '" + key + "'";
   }

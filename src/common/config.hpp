@@ -92,6 +92,13 @@ struct SimConfig {
 
   // --- misc ---------------------------------------------------------------
   std::uint64_t seed = 1;
+  /// Nonzero: reseed the synthetic workload RNG with this value at the
+  /// warmup/measurement boundary.  Replicas that differ only in
+  /// measure_seed share a bit-identical warmup phase (so one warm
+  /// snapshot forks into all of them) yet diverge statistically in the
+  /// measurement window — the mechanism behind `--seeds N`.  Zero (the
+  /// default) keeps the classic single-stream behaviour.
+  std::uint64_t measure_seed = 0;
 
   [[nodiscard]] int num_nodes() const noexcept {
     return mesh_width * mesh_height;

@@ -423,6 +423,9 @@ void json_config(JsonWriter& w, const SimConfig& cfg) {
       .value(static_cast<std::uint64_t>(cfg.fault_onset_spread));
   w.key("link_faults").value(cfg.link_fault_fraction);
   w.key("seed").value(cfg.seed);
+  // Written only when set, like the `shards` execution knob it follows:
+  // existing result corpora stay byte-identical.
+  if (cfg.measure_seed != 0) w.key("measure_seed").value(cfg.measure_seed);
   w.end_object();
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -187,5 +188,32 @@ class Accumulator {
   double max_ = -std::numeric_limits<double>::infinity();
   std::uint64_t n_ = 0;
 };
+
+/// Mean and 95% confidence-interval halfwidth (normal approximation,
+/// 1.96 * s / sqrt(n), sample stddev with the n-1 divisor) of a small
+/// replica set — the statistic behind `dxbar_bench --seeds N`.
+struct MeanCi {
+  double mean = 0.0;
+  double ci95 = 0.0;  ///< halfwidth; 0 for n < 2
+};
+
+/// Computes MeanCi over `values`; NaN entries (unmeasurable points,
+/// e.g. latency past saturation) poison the mean like they poison a
+/// single run, keeping a replicated sweep's gaps where the serial
+/// sweep had them.
+[[nodiscard]] inline MeanCi mean_ci95(const std::vector<double>& values) {
+  MeanCi out;
+  if (values.empty()) return out;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  out.mean = sum / static_cast<double>(values.size());
+  if (values.size() < 2) return out;
+  double ss = 0.0;
+  for (double v : values) ss += (v - out.mean) * (v - out.mean);
+  const double sd =
+      std::sqrt(ss / static_cast<double>(values.size() - 1));
+  out.ci95 = 1.96 * sd / std::sqrt(static_cast<double>(values.size()));
+  return out;
+}
 
 }  // namespace dxbar

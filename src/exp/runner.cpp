@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -12,8 +13,11 @@
 #include <thread>
 
 #include "common/json.hpp"
+#include "common/rng.hpp"
 #include "common/text.hpp"
+#include "report/analysis.hpp"
 #include "sim/campaign.hpp"
+#include "sim/replica_batch.hpp"
 #include "sim/sweep.hpp"
 
 #ifndef DXBAR_GIT_DESCRIBE
@@ -64,6 +68,16 @@ BenchArgs parse_bench_args(std::span<const char* const> args) {
         return out;
       }
       out.threads = static_cast<unsigned>(n);
+    } else if (std::strcmp(a, "--seeds") == 0) {
+      std::string v;
+      if (!need_value(i, "--seeds", v)) return out;
+      char* end = nullptr;
+      const long n = std::strtol(v.c_str(), &end, 10);
+      if (end != v.c_str() + v.size() || n < 1) {
+        out.error = "bad --seeds value '" + v + "' (want an integer >= 1)";
+        return out;
+      }
+      out.seeds = static_cast<int>(n);
     } else if (std::strchr(a, '=') != nullptr) {
       out.overrides.emplace_back(a);
     } else if (a[0] == '-') {
@@ -111,9 +125,11 @@ std::string group_signature(const SimConfig& cfg) {
 
 std::vector<RunStats> sweep_warm(const std::string& exp_name,
                                  const std::vector<SimConfig>& configs,
-                                 unsigned threads, std::size_t& groups_out) {
-  WarmSweepReport report;
-  auto stats = run_warm_sweep(configs, report, threads);
+                                 unsigned threads, WarmupCache* cache,
+                                 std::size_t& groups_out) {
+  ReplicaSweepReport rep;
+  auto stats = run_replica_sweep(configs, threads, cache, &rep);
+  const WarmSweepReport& report = rep.warm;
   groups_out = report.groups.size();
   if (!report.groups.empty()) {
     std::fprintf(stderr,
@@ -127,6 +143,15 @@ std::vector<RunStats> sweep_warm(const std::string& exp_name,
           exp_name.c_str(), g, report.groups[g].size(),
           group_signature(configs[report.groups[g].front()]).c_str());
     }
+    std::fprintf(stderr,
+                 "dxbar_bench: %s: %zu lockstep batch(es), widest %zu "
+                 "lane(s)\n",
+                 exp_name.c_str(), rep.batches, rep.max_lanes);
+  }
+  if (cache != nullptr && rep.cache_hits + rep.cache_misses > 0) {
+    std::fprintf(stderr,
+                 "dxbar_bench: %s: warm cache: %zu hit(s), %zu miss(es)\n",
+                 exp_name.c_str(), rep.cache_hits, rep.cache_misses);
   }
   return stats;
 }
@@ -209,6 +234,12 @@ struct KernelBaseline {
   std::vector<std::pair<std::string, double>> rates;  ///< name -> cycles/sec
   double slowest = 0.0;
   std::string source;  ///< empty = no baseline found
+  // The baseline's recorded measurement config (empty / negative when
+  // the file predates the config block) — checked against the session
+  // so a stale or mismatched baseline is called out rather than
+  // silently producing off-scale ETAs.
+  std::string mesh;
+  double offered_load = -1.0;
 };
 
 KernelBaseline load_kernel_baseline() {
@@ -243,27 +274,44 @@ KernelBaseline load_kernel_baseline() {
       kb.source = path;
       kb.slowest = kb.rates.front().second;
       for (const auto& [n, r] : kb.rates) kb.slowest = std::min(kb.slowest, r);
+      if (const JsonValue* config = root.find("config");
+          config != nullptr && config->type == JsonValue::Type::Object) {
+        if (const JsonValue* mesh = config->find("mesh");
+            mesh != nullptr && mesh->type == JsonValue::Type::String) {
+          kb.mesh = mesh->scalar;
+        }
+        if (const JsonValue* load = config->find("offered_load");
+            load != nullptr) {
+          kb.offered_load = load->as_double();
+        }
+      }
       break;
     }
   }
   return kb;
 }
 
-/// Baseline rate for a design.  The kernel file abbreviates some names
-/// ("Unified" for "Unified Xbar"), so a whole-word prefix also matches;
-/// designs the baseline never measured fall back to the slowest rate
-/// (a conservative ETA).
-double rate_for(const KernelBaseline& kb, RouterDesign d) {
+/// Baseline rate for a design, or nullptr when the baseline never
+/// measured it.  The kernel file abbreviates some names ("Unified" for
+/// "Unified Xbar"), so a whole-word prefix also matches.
+const double* find_rate(const KernelBaseline& kb, RouterDesign d) {
   const std::string label(to_string(d));
   for (const auto& [name, rate] : kb.rates) {
-    if (name == label) return rate;
+    if (name == label) return &rate;
     if (label.size() > name.size() &&
         label.compare(0, name.size(), name) == 0 &&
         label[name.size()] == ' ') {
-      return rate;
+      return &rate;
     }
   }
-  return kb.slowest;
+  return nullptr;
+}
+
+/// find_rate with the slowest measured design as the conservative ETA
+/// fallback for unmeasured ones.
+double rate_for(const KernelBaseline& kb, RouterDesign d) {
+  const double* r = find_rate(kb, d);
+  return r != nullptr ? *r : kb.slowest;
 }
 
 std::string fmt_eta(double seconds) {
@@ -296,8 +344,41 @@ void print_preflight(const std::vector<const Experiment*>& to_run,
                kb.source.empty()
                    ? "; no BENCH_kernel.json baseline, point counts only"
                    : ("; ETA from " + kb.source).c_str());
+  if (kb.source.empty()) {
+    std::fprintf(stderr,
+                 "dxbar_bench: warning: BENCH_kernel.json not found in . or "
+                 "%s — run bench/perf_kernel to record per-design rates and "
+                 "get ETAs\n",
+                 DXBAR_SOURCE_DIR);
+  } else {
+    // A baseline recorded under a different measurement config still
+    // yields an ETA, but an off-scale one; say so up front instead of
+    // letting a stale file mislead silently.
+    char mesh[32];
+    std::snprintf(mesh, sizeof(mesh), "%dx%d", opt.base.mesh_width,
+                  opt.base.mesh_height);
+    if (!kb.mesh.empty() && kb.mesh != mesh) {
+      std::fprintf(stderr,
+                   "dxbar_bench: warning: %s rates were measured on a %s "
+                   "mesh but this session's base config is %s — ETAs scale "
+                   "with mesh size and may be off\n",
+                   kb.source.c_str(), kb.mesh.c_str(), mesh);
+    }
+    if (kb.offered_load >= 0.0 &&
+        std::fabs(kb.offered_load - opt.base.offered_load) > 1e-9) {
+      std::fprintf(stderr,
+                   "dxbar_bench: warning: %s rates were measured at offered "
+                   "load %.3g but this session's base config injects %.3g — "
+                   "ETAs may be off\n",
+                   kb.source.c_str(), kb.offered_load,
+                   opt.base.offered_load);
+    }
+  }
+  const unsigned long long seeds =
+      static_cast<unsigned long long>(std::max(1, opt.seeds));
   double total_sec = 0.0;
   unsigned long long total_points = 0, total_cycles = 0;
+  std::vector<std::string> unmeasured;
   for (const Experiment* e : to_run) {
     if (!e->grid) {
       std::fprintf(stderr, "dxbar_bench:   %-24s custom run (no estimate)\n",
@@ -308,27 +389,50 @@ void print_preflight(const std::vector<const Experiment*>& to_run,
     unsigned long long cycles = 0;
     double sec = 0.0;
     for (const SimConfig& c : cfgs) {
-      const unsigned long long pt = c.warmup_cycles + c.measure_cycles;
+      // Replicas share one warmup (replica engine), so --seeds N costs
+      // one warmup plus N measurement windows per point.
+      const unsigned long long pt =
+          c.warmup_cycles + seeds * c.measure_cycles;
       cycles += pt;
       if (!kb.source.empty()) {
         sec += static_cast<double>(pt) / rate_for(kb, c.design);
+        if (find_rate(kb, c.design) == nullptr) {
+          const std::string label(to_string(c.design));
+          if (std::find(unmeasured.begin(), unmeasured.end(), label) ==
+              unmeasured.end()) {
+            unmeasured.push_back(label);
+          }
+        }
       }
     }
     sec /= workers;
-    total_points += cfgs.size();
+    total_points += cfgs.size() * seeds;
     total_cycles += cycles;
     total_sec += sec;
     if (kb.source.empty()) {
       std::fprintf(stderr,
                    "dxbar_bench:   %-24s %4zu points, %8llu cycles\n",
-                   e->name.c_str(), cfgs.size(), cycles);
+                   e->name.c_str(),
+                   static_cast<std::size_t>(cfgs.size() * seeds), cycles);
     } else {
       std::fprintf(stderr,
                    "dxbar_bench:   %-24s %4zu points, %8llu cycles, "
                    "ETA %s\n",
-                   e->name.c_str(), cfgs.size(), cycles,
+                   e->name.c_str(),
+                   static_cast<std::size_t>(cfgs.size() * seeds), cycles,
                    fmt_eta(sec).c_str());
     }
+  }
+  if (!unmeasured.empty()) {
+    std::string names;
+    for (const std::string& n : unmeasured) {
+      if (!names.empty()) names += ", ";
+      names += n;
+    }
+    std::fprintf(stderr,
+                 "dxbar_bench: warning: %s has no rate for: %s — their ETAs "
+                 "use the slowest measured design\n",
+                 kb.source.c_str(), names.c_str());
   }
   if (kb.source.empty()) {
     std::fprintf(stderr,
@@ -343,6 +447,103 @@ void print_preflight(const std::vector<const Experiment*>& to_run,
   }
 }
 
+namespace {
+
+/// Measurement seed for replica `rep` of one grid point.  Replica 0
+/// keeps the config untouched (measure_seed as authored — usually 0,
+/// the classic single-stream run); later replicas draw independent
+/// streams from a SplitMix64 seeded by the point's own seeds, so
+/// identical grid points replicate identically across sessions.
+/// Nonzero by construction — zero would disable the boundary reseed.
+std::uint64_t replica_measure_seed(const SimConfig& cfg, int rep) {
+  SplitMix64 sm(cfg.seed ^ cfg.measure_seed);
+  std::uint64_t s = 0;
+  for (int r = 0; r < rep; ++r) s = sm.next();
+  return s != 0 ? s : 1;
+}
+
+/// True when every replica reduced to the same block structure (same
+/// table layouts).  Reducers derive tables from the grid, which is
+/// identical across replicas, so a mismatch means a reducer let stats
+/// leak into table *shape* — combining would misalign cells.
+bool replica_results_compatible(const std::vector<ExperimentResult>& reps) {
+  const auto& base = reps.front().blocks;
+  for (const ExperimentResult& r : reps) {
+    if (r.blocks.size() != base.size()) return false;
+    for (std::size_t b = 0; b < base.size(); ++b) {
+      if (r.blocks[b].kind != base[b].kind) return false;
+      if (base[b].kind != Block::Kind::Table) continue;
+      const Table& t0 = base[b].table;
+      const Table& t = r.blocks[b].table;
+      if (t.x != t0.x || t.series_labels != t0.series_labels) return false;
+    }
+  }
+  return true;
+}
+
+/// Folds N per-replica reductions into one result: every table cell
+/// becomes the across-replica mean and each table gains one appended
+/// "<series> ±ci95" column per original series (95% confidence
+/// halfwidths).  Text blocks and table layout come from replica 0.
+ExperimentResult combine_replica_results(const std::string& exp_name,
+                                         std::vector<ExperimentResult> reps) {
+  if (!replica_results_compatible(reps)) {
+    std::fprintf(stderr,
+                 "dxbar_bench: %s: replicas reduced to different table "
+                 "shapes; reporting replica 0 only\n",
+                 exp_name.c_str());
+    return std::move(reps.front());
+  }
+  const int n = static_cast<int>(reps.size());
+  int exit_code = 0;
+  for (const ExperimentResult& r : reps) {
+    exit_code = std::max(exit_code, r.exit_code);
+  }
+  ExperimentResult out = std::move(reps.front());
+  out.exit_code = exit_code;
+
+  std::vector<double> sample(static_cast<std::size_t>(n));
+  for (std::size_t b = 0; b < out.blocks.size(); ++b) {
+    if (out.blocks[b].kind != Block::Kind::Table) continue;
+    Table& t = out.blocks[b].table;
+    const std::size_t n_series = t.series_labels.size();
+    std::vector<std::vector<double>> ci(
+        n_series, std::vector<double>(t.x.size(), 0.0));
+    for (std::size_t s = 0; s < n_series; ++s) {
+      for (std::size_t row = 0; row < t.x.size(); ++row) {
+        sample[0] = t.values[s][row];  // replica 0 was moved into `out`
+        for (int rep = 1; rep < n; ++rep) {
+          sample[static_cast<std::size_t>(rep)] =
+              reps[static_cast<std::size_t>(rep)].blocks[b].table.values[s]
+                  [row];
+        }
+        const MeanCi mc = mean_ci95(sample);
+        t.values[s][row] = mc.mean;
+        ci[s][row] = mc.ci95;
+      }
+    }
+    for (std::size_t s = 0; s < n_series; ++s) {
+      t.series_labels.push_back(t.series_labels[s] +
+                                std::string(report::kCiSuffix));
+      t.values.push_back(std::move(ci[s]));
+    }
+  }
+
+  Block note;
+  note.kind = Block::Kind::Text;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "(replicated over %d seeds: table cells are means, ±ci95 "
+                "columns are 95%% confidence halfwidths; text summaries "
+                "describe replica 0)\n",
+                n);
+  note.text = buf;
+  out.blocks.insert(out.blocks.begin(), std::move(note));
+  return out;
+}
+
+}  // namespace
+
 ExperimentResult execute(const Experiment& exp, const RunOptions& opt) {
   RunContext ctx;
   ctx.base = opt.base;
@@ -356,14 +557,45 @@ ExperimentResult execute(const Experiment& exp, const RunOptions& opt) {
     if (campaign_mode) {
       return sweep_campaign(exp.name, configs, opt.resume_dir);
     }
-    return sweep_warm(exp.name, configs, opt.threads, warm_groups);
+    return sweep_warm(exp.name, configs, opt.threads, opt.warm_cache,
+                      warm_groups);
   };
 
   if (exp.grid) {
-    const std::vector<SimConfig> configs = exp.grid(ctx);
+    const std::vector<SimConfig> base_grid = exp.grid(ctx);
+    const int seeds = std::max(1, opt.seeds);
+    // Rep-major expansion: [rep0: all points][rep1: all points]... so
+    // each replica slice is structurally identical to the base grid and
+    // can be fed to the reducer unchanged.  The replica engine groups
+    // the copies of each point into one shared-warmup lockstep batch.
+    std::vector<SimConfig> configs = base_grid;
+    if (seeds > 1) {
+      configs.reserve(base_grid.size() * static_cast<std::size_t>(seeds));
+      for (int rep = 1; rep < seeds; ++rep) {
+        for (SimConfig cfg : base_grid) {
+          cfg.measure_seed = replica_measure_seed(cfg, rep);
+          configs.push_back(cfg);
+        }
+      }
+    }
     const std::vector<RunStats> stats = ctx.sweep(configs);
-    result = exp.reduce(ctx, stats);
-    result.grid = configs;
+    if (seeds > 1) {
+      const std::size_t pts = base_grid.size();
+      std::vector<ExperimentResult> reps;
+      reps.reserve(static_cast<std::size_t>(seeds));
+      for (int rep = 0; rep < seeds; ++rep) {
+        const auto begin =
+            stats.begin() +
+            static_cast<std::ptrdiff_t>(static_cast<std::size_t>(rep) * pts);
+        reps.push_back(exp.reduce(
+            ctx, std::vector<RunStats>(
+                     begin, begin + static_cast<std::ptrdiff_t>(pts))));
+      }
+      result = combine_replica_results(exp.name, std::move(reps));
+    } else {
+      result = exp.reduce(ctx, stats);
+    }
+    result.grid = std::move(configs);
     result.grid_stats = stats;
     result.executor = campaign_mode ? "campaign" : "warm_sweep";
   } else {
@@ -371,6 +603,12 @@ ExperimentResult execute(const Experiment& exp, const RunOptions& opt) {
       std::fprintf(stderr,
                    "dxbar_bench: %s: not an open-loop grid experiment; "
                    "--resume has no effect\n",
+                   exp.name.c_str());
+    }
+    if (opt.seeds > 1) {
+      std::fprintf(stderr,
+                   "dxbar_bench: %s: not an open-loop grid experiment; "
+                   "--seeds has no effect\n",
                    exp.name.c_str());
     }
     result = exp.run(ctx);

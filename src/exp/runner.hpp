@@ -22,6 +22,10 @@
 #include "exp/registry.hpp"
 #include "report/result_io.hpp"
 
+namespace dxbar {
+class WarmupCache;  // sim/replica_batch.hpp
+}
+
 namespace dxbar::exp {
 
 /// Parsed dxbar_bench command line.  Parsing never applies flag effects
@@ -34,6 +38,7 @@ struct BenchArgs {
   bool all = false;
   bool quick = false;
   unsigned threads = 0;
+  int seeds = 1;  ///< measurement replicas per grid point (--seeds N)
   std::string csv_dir;
   std::string json_dir;
   std::string resume_dir;
@@ -56,6 +61,17 @@ struct RunOptions {
   SimConfig base;
   bool quick = false;
   unsigned threads = 0;
+  /// Measurement replicas per grid point.  With N > 1 every grid is
+  /// expanded rep-major (replica 0 keeps each config untouched; replica
+  /// r > 0 derives an independent nonzero measure_seed), the replicas
+  /// share warmups through the replica engine, and the reduced tables
+  /// report per-cell means plus appended "<series> ±ci95" columns.
+  int seeds = 1;
+  /// Session-wide warm-snapshot cache (optional).  When set, warm
+  /// sweeps consult it before running a warmup and publish every warmup
+  /// they do run, so repeated (design, warmup) pairs across experiments
+  /// warm once per session.
+  WarmupCache* warm_cache = nullptr;
   std::string csv_dir;     ///< empty = no CSV
   std::string json_dir;    ///< empty = no JSON
   std::string resume_dir;  ///< nonempty = campaign execution (grids only)

@@ -81,6 +81,11 @@ double knee_x(const std::vector<double>& xs, const std::vector<double>& ys) {
 
 }  // namespace
 
+bool is_ci_series(std::string_view label) {
+  return label.size() >= kCiSuffix.size() &&
+         label.substr(label.size() - kCiSuffix.size()) == kCiSuffix;
+}
+
 bool tied(double a, double b, double margin) {
   if (std::isnan(a) || std::isnan(b)) return true;
   const double scale = std::max(std::fabs(a), std::fabs(b));
@@ -97,7 +102,7 @@ double saturation_from_points(const std::vector<double>& xs,
   return xs.back();
 }
 
-TableAnalysis analyze_table(const TableDoc& table) {
+TableAnalysis analyze_table(const TableDoc& table, double tie_margin) {
   TableAnalysis a;
   a.direction = infer_direction(table);
   a.numeric_x = parse_all_numeric(table.x, a.xs);
@@ -107,16 +112,26 @@ TableAnalysis analyze_table(const TableDoc& table) {
       a.numeric_x && a.direction == MetricDirection::HigherBetter &&
       contains_any(text, {"accepted", "offered"});
 
+  // CI companion columns hold confidence halfwidths, not metric values;
+  // they never compete for a winner and have no saturation/knee.
+  std::vector<bool> is_ci(table.series.size());
+  std::size_t metric_series = 0;
+  for (std::size_t s = 0; s < table.series.size(); ++s) {
+    is_ci[s] = is_ci_series(table.series[s].label);
+    if (!is_ci[s]) ++metric_series;
+  }
+
   // Per-bin winner: best series at each x, ties -> -1.
   const std::size_t bins = table.x.size();
   a.winner_per_bin.assign(bins, -1);
-  if (a.direction != MetricDirection::Unknown && table.series.size() >= 2) {
+  if (a.direction != MetricDirection::Unknown && metric_series >= 2) {
     for (std::size_t i = 0; i < bins; ++i) {
       const auto better = [&](double v, double w) {
         return a.direction == MetricDirection::HigherBetter ? v > w : v < w;
       };
       int best = -1, second = -1;
       for (std::size_t s = 0; s < table.series.size(); ++s) {
+        if (is_ci[s]) continue;
         const double v = table.series[s].values[i];
         if (std::isnan(v)) continue;
         if (best < 0 ||
@@ -133,19 +148,22 @@ TableAnalysis analyze_table(const TableDoc& table) {
       // A winner inside the tie margin of the runner-up is no winner.
       if (best >= 0 && second >= 0 &&
           !tied(table.series[static_cast<std::size_t>(best)].values[i],
-                table.series[static_cast<std::size_t>(second)].values[i])) {
+                table.series[static_cast<std::size_t>(second)].values[i],
+                tie_margin)) {
         a.winner_per_bin[i] = best;
       }
     }
   }
 
-  for (const SeriesDoc& s : table.series) {
+  for (std::size_t s = 0; s < table.series.size(); ++s) {
     SeriesAnalysis sa;
-    sa.label = s.label;
-    sa.saturation = a.is_accepted_vs_offered
-                        ? saturation_from_points(a.xs, s.values)
+    sa.label = table.series[s].label;
+    sa.saturation = a.is_accepted_vs_offered && !is_ci[s]
+                        ? saturation_from_points(a.xs, table.series[s].values)
                         : std::nan("");
-    sa.knee_x = a.numeric_x ? knee_x(a.xs, s.values) : std::nan("");
+    sa.knee_x = a.numeric_x && !is_ci[s]
+                    ? knee_x(a.xs, table.series[s].values)
+                    : std::nan("");
     a.series.push_back(std::move(sa));
   }
   return a;

@@ -62,8 +62,22 @@ struct TableAnalysis {
 /// (no winner is declared and a flip is not meaningful).
 inline constexpr double kTieMargin = 0.02;
 
+/// Label suffix marking a confidence-interval companion series
+/// ("<series> ±ci95"), appended by `dxbar_bench --seeds N`.  CI series
+/// carry 95% confidence halfwidths, not metric values: analysis skips
+/// them for winner/knee/saturation, charts draw them as error bars on
+/// the base series instead of as curves, and shape diffs widen their
+/// noise tolerance from them rather than comparing them.
+inline constexpr std::string_view kCiSuffix = " ±ci95";
+
+/// True when `label` names a CI companion series (ends in kCiSuffix).
+[[nodiscard]] bool is_ci_series(std::string_view label);
+
 /// Analyzes one table; purely a function of the stored values.
-TableAnalysis analyze_table(const TableDoc& table);
+/// `tie_margin` is the relative margin for winner ties (kTieMargin by
+/// default; the diff engine widens it with measured replica noise).
+TableAnalysis analyze_table(const TableDoc& table,
+                            double tie_margin = kTieMargin);
 
 /// find_saturation's criterion on stored points: the first x where
 /// value < ratio * x, else the last x.  `xs` must be nonempty.

@@ -68,6 +68,30 @@ int crossing_count(const SeriesDoc& a, const SeriesDoc& b,
   return count;
 }
 
+/// Largest relative 95% confidence halfwidth recorded in a table's
+/// ±ci95 companion columns — the measured replica noise floor of the
+/// table.  Zero when the table carries no CI columns (single-seed run).
+double relative_ci_noise(const TableDoc& t) {
+  double noise = 0.0;
+  for (const SeriesDoc& s : t.series) {
+    if (!is_ci_series(s.label)) continue;
+    const std::string base_label =
+        s.label.substr(0, s.label.size() - kCiSuffix.size());
+    for (const SeriesDoc& b : t.series) {
+      if (b.label != base_label) continue;
+      for (std::size_t i = 0; i < b.values.size() && i < s.values.size();
+           ++i) {
+        const double mean = std::fabs(b.values[i]);
+        const double ci = s.values[i];
+        if (std::isnan(mean) || std::isnan(ci) || !(mean > 0.0)) continue;
+        noise = std::max(noise, ci / mean);
+      }
+      break;
+    }
+  }
+  return noise;
+}
+
 bool same_structure(const TableDoc& base, const TableDoc& fresh,
                     std::vector<std::string>& reasons) {
   if (base.x_label != fresh.x_label) {
@@ -104,10 +128,12 @@ TableDiff diff_tables(const TableDoc& base, const TableDoc& fresh,
 
   bool any_change = false;
   for (std::size_t s = 0; s < base.series.size(); ++s) {
+    const bool ci_column = is_ci_series(base.series[s].label);
     for (std::size_t i = 0; i < base.x.size(); ++i) {
       const double b = base.series[s].values[i];
       const double f = fresh.series[s].values[i];
       if (!bits_equal(b, f)) any_change = true;
+      if (ci_column) continue;  // halfwidths are not metric deltas
       if (std::isnan(b) || std::isnan(f)) continue;
       const double scale = std::max(std::fabs(b), std::fabs(f));
       if (scale > 0.0) {
@@ -120,8 +146,16 @@ TableDiff diff_tables(const TableDoc& base, const TableDoc& fresh,
     return d;
   }
 
-  const TableAnalysis ab = analyze_table(base);
-  const TableAnalysis af = analyze_table(fresh);
+  // Replicated tables carry their own noise floor: widen the tie
+  // margin to two relative CI halfwidths when that exceeds the static
+  // default, so a "winner flip" inside the measured seed-to-seed noise
+  // reads as drift, not a shape regression.
+  const double noise =
+      std::max(relative_ci_noise(base), relative_ci_noise(fresh));
+  const double tie_margin = std::max(opt.tie_margin, 2.0 * noise);
+
+  const TableAnalysis ab = analyze_table(base, tie_margin);
+  const TableAnalysis af = analyze_table(fresh, tie_margin);
 
   // Winner flips: a decisive winner in both runs that changed identity.
   for (std::size_t i = 0; i < ab.winner_per_bin.size(); ++i) {
@@ -151,14 +185,17 @@ TableDiff diff_tables(const TableDoc& base, const TableDoc& fresh,
     }
   }
 
-  // Crossing-structure changes per series pair.
+  // Crossing-structure changes per series pair (CI columns carry no
+  // crossing semantics).
   if (ab.direction != MetricDirection::Unknown) {
     for (std::size_t i = 0; i < base.series.size(); ++i) {
+      if (is_ci_series(base.series[i].label)) continue;
       for (std::size_t j = i + 1; j < base.series.size(); ++j) {
+        if (is_ci_series(base.series[j].label)) continue;
         const int cb = crossing_count(base.series[i], base.series[j],
-                                      opt.tie_margin);
+                                      tie_margin);
         const int cf = crossing_count(fresh.series[i], fresh.series[j],
-                                      opt.tie_margin);
+                                      tie_margin);
         if (cb != cf) {
           d.reasons.push_back(
               "'" + base.series[i].label + "' vs '" + base.series[j].label +

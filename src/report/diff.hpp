@@ -16,7 +16,11 @@
 // Shape signals are evaluated on the rendered tables (what the paper
 // plots), with the tie margin from analysis.hpp filtering noise-level
 // flips: a "winner change" between two series that were within 2% of
-// each other in both runs is drift, not a regression.  The CLI exits
+// each other in both runs is drift, not a regression.  Tables produced
+// by `dxbar_bench --seeds N` carry ±ci95 companion columns; the diff
+// widens the tie margin to twice the largest relative CI halfwidth
+// when that exceeds the static default, so the tolerance tracks the
+// noise the replication actually measured.  The CLI exits
 // nonzero iff any experiment is a SHAPE-REGRESSION, so CI can gate on
 // reproduction claims ("DXbar saturates later than Flit-Bless") rather
 // than on exact numbers.

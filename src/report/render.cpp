@@ -35,17 +35,35 @@ std::string md_escape(const std::string& s) {
 
 /// Builds the chart for one table: numeric x axes plot as curves,
 /// categorical axes plot across slots with category tick labels.
+/// The "<label> ±ci95" companion of a series, when the table has one.
+const SeriesDoc* ci_companion(const TableDoc& t, const std::string& label) {
+  const std::string want = label + std::string(kCiSuffix);
+  for (const SeriesDoc& s : t.series) {
+    if (s.label == want) return &s;
+  }
+  return nullptr;
+}
+
 SvgChart table_chart(const TableDoc& t, const TableAnalysis& a,
                      const std::string& title_override = {}) {
   SvgChart chart(title_override.empty() ? t.title : title_override,
                  t.x_label, "");
   if (!a.numeric_x) chart.set_categories(t.x);
+  int color = 0;
   for (std::size_t s = 0; s < t.series.size(); ++s) {
+    // CI companions are not curves: they become error bars on their
+    // base series.  Colors stay consecutive over the drawn curves.
+    if (is_ci_series(t.series[s].label)) continue;
     SvgSeries sv;
     sv.label = t.series[s].label;
+    sv.color = color++;
+    const SeriesDoc* ci = ci_companion(t, t.series[s].label);
     for (std::size_t i = 0; i < t.x.size(); ++i) {
       sv.xs.push_back(a.numeric_x ? a.xs[i] : static_cast<double>(i));
       sv.ys.push_back(t.series[s].values[i]);
+      if (ci != nullptr && i < ci->values.size()) {
+        sv.err.push_back(ci->values[i]);
+      }
     }
     chart.add_series(std::move(sv));
   }
@@ -94,9 +112,12 @@ void render_table_section(std::string& md, const TableDoc& t) {
     md += "\n";
     if (a.is_accepted_vs_offered) {
       md += "*Saturation (acceptance < 90% of offered):* ";
-      for (std::size_t s = 0; s < a.series.size(); ++s) {
-        if (s > 0) md += ", ";
-        md += a.series[s].label + " " + fmt("%.3g", a.series[s].saturation);
+      bool first = true;
+      for (const SeriesAnalysis& s : a.series) {
+        if (std::isnan(s.saturation)) continue;  // CI companion columns
+        if (!first) md += ", ";
+        first = false;
+        md += s.label + " " + fmt("%.3g", s.saturation);
       }
       md += "\n\n";
     }
@@ -245,6 +266,7 @@ std::string render_diff(const DiffReport& report,
                          "");
           if (!a.numeric_x) chart.set_categories(ft->x);
           for (std::size_t s = 0; s < ft->series.size(); ++s) {
+            if (is_ci_series(ft->series[s].label)) continue;
             SvgSeries solid, dashed;
             solid.label = ft->series[s].label;
             dashed.label = bt->series[s].label + " (base)";

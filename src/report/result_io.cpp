@@ -184,6 +184,13 @@ class ObjReader {
     }
   }
 
+  /// Like uint64(), but a missing key leaves `out` untouched — for
+  /// fields the writer omits at their default value (measure_seed).
+  void opt_uint64(std::string_view key, std::uint64_t& out) {
+    if (!err_.empty() || v_.find(key) == nullptr) return;
+    uint64(key, out);
+  }
+
   const JsonValue* array(std::string_view key) {
     return get(key, JsonValue::Type::Array, "array");
   }
@@ -274,6 +281,7 @@ void read_config(const JsonValue& v, const std::string& path, SimConfig& cfg,
   r.uint64("fault_onset_spread", cfg.fault_onset_spread);
   r.number("link_faults", cfg.link_fault_fraction);
   r.uint64("seed", cfg.seed);
+  r.opt_uint64("measure_seed", cfg.measure_seed);
   r.finish();
 }
 

@@ -74,15 +74,19 @@ std::string SvgChart::render(int width, int height) const {
   for (const SvgSeries& s : series_) {
     for (std::size_t i = 0; i < s.xs.size() && i < s.ys.size(); ++i) {
       if (std::isnan(s.xs[i]) || std::isnan(s.ys[i])) continue;
+      // Error bars extend the data range; keep them inside the plot.
+      double e = i < s.err.size() && !std::isnan(s.err[i]) ? s.err[i] : 0.0;
+      if (e < 0.0) e = 0.0;
       if (!have) {
         xmin = xmax = s.xs[i];
-        ymin = ymax = s.ys[i];
+        ymin = s.ys[i] - e;
+        ymax = s.ys[i] + e;
         have = true;
       } else {
         xmin = std::min(xmin, s.xs[i]);
         xmax = std::max(xmax, s.xs[i]);
-        ymin = std::min(ymin, s.ys[i]);
-        ymax = std::max(ymax, s.ys[i]);
+        ymin = std::min(ymin, s.ys[i] - e);
+        ymax = std::max(ymax, s.ys[i] + e);
       }
     }
   }
@@ -207,6 +211,23 @@ std::string SvgChart::render(int width, int height) const {
       if (!points.empty()) points += ' ';
       points += num(px(s.xs[i])) + "," + num(py(s.ys[i]));
       open = true;
+      if (i < s.err.size() && !std::isnan(s.err[i]) && s.err[i] > 0.0) {
+        const double xx = px(s.xs[i]);
+        const double y_lo = py(s.ys[i] - s.err[i]);
+        const double y_hi = py(s.ys[i] + s.err[i]);
+        svg += "<line x1=\"" + num(xx) + "\" y1=\"" + num(y_lo) +
+               "\" x2=\"" + num(xx) + "\" y2=\"" + num(y_hi) +
+               "\" stroke=\"";
+        svg += color;
+        svg += "\" stroke-width=\"1\"/>\n";
+        for (double yy : {y_lo, y_hi}) {
+          svg += "<line x1=\"" + num(xx - 3) + "\" y1=\"" + num(yy) +
+                 "\" x2=\"" + num(xx + 3) + "\" y2=\"" + num(yy) +
+                 "\" stroke=\"";
+          svg += color;
+          svg += "\" stroke-width=\"1\"/>\n";
+        }
+      }
       svg += "<circle cx=\"" + num(px(s.xs[i])) + "\" cy=\"" +
              num(py(s.ys[i])) + "\" r=\"2.5\" fill=\"";
       svg += color;

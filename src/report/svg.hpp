@@ -16,6 +16,10 @@ struct SvgSeries {
   std::string label;
   std::vector<double> xs;
   std::vector<double> ys;  ///< NaN breaks the polyline
+  /// Optional symmetric error halfwidths (e.g. ±ci95 from --seeds
+  /// replication): when nonempty, point i gets a vertical error bar
+  /// ys[i] ± err[i].  Zero/NaN entries draw no bar.
+  std::vector<double> err;
   bool dashed = false;     ///< baseline style in diff overlays
   /// Palette slot; series added with add_series() get consecutive
   /// slots, but overlays may pin two series to one hue.

@@ -2,13 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <map>
 #include <thread>
 
-#include "sim/network.hpp"
+#include "sim/replica_batch.hpp"
 #include "sim/sim_runner.hpp"
-#include "snapshot/serialize.hpp"
-#include "traffic/traffic_gen.hpp"
 
 namespace dxbar {
 
@@ -58,24 +55,6 @@ std::vector<RunStats> run_sweep(const std::vector<SimConfig>& configs,
   return results;
 }
 
-namespace {
-
-constexpr std::uint32_t kSecWorkload = section_tag("WKLD");
-
-/// Group key: the full config with the fields that do not influence the
-/// warmup phase (measurement-rate and drain cap) neutralized.  Members
-/// of one group replay an identical warmup.
-std::vector<std::uint8_t> warmup_group_key(const SimConfig& cfg) {
-  SimConfig key = cfg;
-  key.offered_load = 0.0;
-  key.drain_cycles = 0;
-  SnapshotWriter w;
-  save_config(w, key);
-  return w.take();
-}
-
-}  // namespace
-
 std::vector<RunStats> run_warm_sweep(const std::vector<SimConfig>& configs,
                                      unsigned threads) {
   WarmSweepReport report;
@@ -85,69 +64,13 @@ std::vector<RunStats> run_warm_sweep(const std::vector<SimConfig>& configs,
 std::vector<RunStats> run_warm_sweep(const std::vector<SimConfig>& configs,
                                      WarmSweepReport& report,
                                      unsigned threads) {
-  struct Group {
-    std::vector<std::size_t> members;
-    std::vector<std::uint8_t> warm_state;  ///< network + workload at warmup
-  };
-  std::vector<Group> groups;
-  std::map<std::vector<std::uint8_t>, std::size_t> group_of;
-  // -1 == cold run (no shared-warmup eligibility).
-  std::vector<std::ptrdiff_t> group_index(configs.size(), -1);
-
-  for (std::size_t i = 0; i < configs.size(); ++i) {
-    const SimConfig& cfg = configs[i];
-    if (cfg.warmup_load < 0.0 || cfg.warmup_cycles == 0) continue;
-    const auto key = warmup_group_key(cfg);
-    const auto [it, inserted] = group_of.try_emplace(key, groups.size());
-    if (inserted) groups.emplace_back();
-    groups[it->second].members.push_back(i);
-    group_index[i] = static_cast<std::ptrdiff_t>(it->second);
-  }
-
-  report.groups.clear();
-  for (const Group& g : groups) report.groups.push_back(g.members);
-  report.cold_points = configs.size() - report.warm_points();
-
-  // Phase 1: one warmup per group, snapshotted at the warmup boundary.
-  parallel_for(
-      groups.size(),
-      [&](std::size_t g) {
-        const SimConfig& cfg = configs[groups[g].members.front()];
-        Network net(cfg);
-        SyntheticWorkload workload(cfg, net.mesh());
-        net.set_workload(&workload);
-        advance_open_loop(net, cfg.warmup_cycles);
-        SnapshotWriter w;
-        net.save(w);
-        w.begin_section(kSecWorkload);
-        workload.save_state(w);
-        w.end_section();
-        groups[g].warm_state = w.take();
-      },
-      threads);
-
-  // Phase 2: fork every member's measurement phase from its group's
-  // snapshot (cold members just run straight through).
-  std::vector<RunStats> results(configs.size());
-  parallel_for(
-      configs.size(),
-      [&](std::size_t i) {
-        if (group_index[i] < 0) {
-          results[i] = run_open_loop(configs[i]);
-          return;
-        }
-        const SimConfig& cfg = configs[i];
-        Network net(cfg);
-        SyntheticWorkload workload(cfg, net.mesh());
-        net.set_workload(&workload);
-        SnapshotReader r(
-            groups[static_cast<std::size_t>(group_index[i])].warm_state);
-        net.load(r);
-        (void)r.expect_section(kSecWorkload);
-        workload.load_state(r);
-        results[i] = finish_open_loop(net, workload);
-      },
-      threads);
+  // The warm sweep is now a view of the replica engine: the grouping
+  // rule, the shared-warmup phase, and the forked measurement phases
+  // all live in run_replica_sweep (sim/replica_batch.hpp), which also
+  // steps each group's members in lockstep batches.
+  ReplicaSweepReport rep;
+  auto results = run_replica_sweep(configs, threads, nullptr, &rep);
+  report = std::move(rep.warm);
   return results;
 }
 

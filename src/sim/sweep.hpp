@@ -29,7 +29,12 @@ std::vector<RunStats> run_sweep(const std::vector<SimConfig>& configs,
 /// run_sweep return byte-for-byte equal RunStats.
 ///
 /// Configs with warmup_load unset (< 0) or warmup_cycles == 0 fall back
-/// to cold runs inside the same call.
+/// to cold runs inside the same call — except that warmup_load-unset
+/// configs identical up to measure_seed / drain cap still share their
+/// warmup (seed replication; see sim/replica_batch.hpp, which houses
+/// the engine behind this entry point).  Sharded configs (shards > 1)
+/// always run cold; sharding parallelizes inside one simulation and
+/// does not compose with replica batching.
 std::vector<RunStats> run_warm_sweep(const std::vector<SimConfig>& configs,
                                      unsigned threads = 0);
 

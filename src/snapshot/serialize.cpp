@@ -79,6 +79,7 @@ void save_config(SnapshotWriter& w, const SimConfig& cfg) {
   w.u64(cfg.fault_onset_spread);
   w.f64(cfg.link_fault_fraction);
   w.u64(cfg.seed);
+  w.u64(cfg.measure_seed);  // added in snapshot version 3
 }
 
 SimConfig load_config(SnapshotReader& r) {
@@ -107,6 +108,9 @@ SimConfig load_config(SnapshotReader& r) {
   cfg.fault_onset_spread = r.u64();
   cfg.link_fault_fraction = r.f64();
   cfg.seed = r.u64();
+  // Version 2 streams (pre-measure_seed) end here; the field defaults
+  // to 0, which is the exact pre-v3 behaviour.
+  if (r.version() >= 3) cfg.measure_seed = r.u64();
   return cfg;
 }
 

@@ -12,9 +12,16 @@ SyntheticWorkload::SyntheticWorkload(const SimConfig& cfg, const Mesh& mesh)
           static_cast<double>(cfg.packet_length)),
       warmup_end_(cfg.warmup_cycles),
       packet_length_(cfg.packet_length),
+      measure_seed_(cfg.measure_seed),
       rng_(cfg.seed ^ 0x7AFF1CULL) {}
 
 void SyntheticWorkload::begin_cycle(Cycle now, Injector& inject) {
+  // The reseed sits at the warmup/measurement boundary, which is after
+  // the point where warm-start sweeps snapshot (advance_open_loop stops
+  // before begin_cycle(warmup_end_)): replicas differing only in
+  // measure_seed share one warmup stream and diverge exactly here,
+  // whether they ran straight through or forked from a warm snapshot.
+  if (now == warmup_end_ && measure_seed_ != 0) rng_ = Rng(measure_seed_);
   if (!enabled_) return;
   const double p = now < warmup_end_ ? warmup_probability_ : packet_probability_;
   const int n = mesh_.num_nodes();

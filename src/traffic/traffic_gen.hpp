@@ -98,6 +98,7 @@ class SyntheticWorkload final : public WorkloadModel {
   double warmup_probability_;
   Cycle warmup_end_;
   int packet_length_;
+  std::uint64_t measure_seed_;
   Rng rng_;
   bool enabled_ = true;
 };

@@ -16,6 +16,7 @@
 #include "core/dxbar.hpp"
 #include "exp/registry.hpp"
 #include "exp/runner.hpp"
+#include "report/analysis.hpp"
 
 namespace dxbar::exp {
 namespace {
@@ -487,6 +488,108 @@ TEST(ExpWarmReport, GroupsShareWarmupAndColdPointsAreCounted) {
   // Bit-exact vs the plain cold sweep, per the warm-sweep contract.
   const auto cold_stats = run_sweep(cfgs);
   EXPECT_EQ(stats_bytes(stats), stats_bytes(cold_stats));
+}
+
+// ---------------------------------------------------------------------
+// --seeds N replication
+
+TEST(ExpParser, SeedsFlagIsParsedAndValidated) {
+  const BenchArgs ok = parse({"--seeds", "5"});
+  EXPECT_TRUE(ok.error.empty()) << ok.error;
+  EXPECT_EQ(ok.seeds, 5);
+  EXPECT_EQ(parse({}).seeds, 1);  // default: single replica
+
+  EXPECT_NE(parse({"--seeds", "0"}).error.find("--seeds"),
+            std::string::npos);
+  EXPECT_FALSE(parse({"--seeds", "many"}).error.empty());
+  EXPECT_FALSE(parse({"--seeds", "-2"}).error.empty());
+  EXPECT_FALSE(parse({"--seeds"}).error.empty());  // missing value
+}
+
+/// A grid experiment whose reducer emits a real table (one series over
+/// the two offered loads), so replication has columns to widen.
+Experiment table_experiment() {
+  Experiment e;
+  e.name = "exp_test_table";
+  e.title = "ci table grid";
+  e.grid = [](const RunContext& ctx) {
+    std::vector<SimConfig> cfgs;
+    for (double load : {0.10, 0.25}) {
+      SimConfig c = ctx.base;
+      c.design = RouterDesign::DXbar;
+      c.offered_load = load;
+      cfgs.push_back(c);
+    }
+    return cfgs;
+  };
+  e.reduce = [](const RunContext&, const std::vector<RunStats>& stats) {
+    ExperimentResult r;
+    Table t;
+    t.title = "accepted load";
+    t.x_label = "offered";
+    t.series_labels = {"acc"};
+    t.values.resize(1);
+    for (const RunStats& s : stats) {
+      t.x.push_back(fmt(s.offered_load, "%.2f"));
+      t.values[0].push_back(s.accepted_load);
+    }
+    r.add_table(std::move(t));
+    r.addf("rows: %zu\n", stats.size());
+    return r;
+  };
+  return e;
+}
+
+TEST(ExpExecute, SeedsExpandTheGridRepMajorWithDerivedSeeds) {
+  const Experiment e = table_experiment();
+  RunOptions opt = tiny_options();
+  opt.seeds = 3;
+  const ExperimentResult r = execute(e, opt);
+
+  ASSERT_EQ(r.grid.size(), 6u);  // 2 points x 3 replicas, all raw points
+  ASSERT_EQ(r.grid_stats.size(), 6u);
+  // Replica 0 is the untouched base grid; later replicas carry derived
+  // nonzero measurement seeds, distinct across replicas of one point.
+  EXPECT_EQ(r.grid[0].measure_seed, 0u);
+  EXPECT_EQ(r.grid[1].measure_seed, 0u);
+  for (std::size_t i = 2; i < 6; ++i) {
+    EXPECT_NE(r.grid[i].measure_seed, 0u) << i;
+  }
+  EXPECT_EQ(r.grid[2].offered_load, r.grid[0].offered_load);
+  EXPECT_NE(r.grid[2].measure_seed, r.grid[4].measure_seed);
+  // The three replicas of each point share one warmup group.
+  EXPECT_EQ(r.warm_groups, 2u);
+}
+
+TEST(ExpExecute, SeedsAddMeanAndCiColumnsDeterministically) {
+  const Experiment e = table_experiment();
+  RunOptions opt = tiny_options();
+  opt.seeds = 3;
+  const ExperimentResult r = execute(e, opt);
+
+  const Table* table = nullptr;
+  for (const Block& b : r.blocks) {
+    if (b.kind == Block::Kind::Table) table = &b.table;
+  }
+  ASSERT_NE(table, nullptr);
+  ASSERT_EQ(table->series_labels.size(), 2u);
+  EXPECT_EQ(table->series_labels[0], "acc");
+  EXPECT_EQ(table->series_labels[1],
+            "acc" + std::string(report::kCiSuffix));
+
+  // Cell = mean of the three replicas of that point (rep-major slices).
+  for (std::size_t row = 0; row < 2; ++row) {
+    const double mean = (r.grid_stats[row].accepted_load +
+                         r.grid_stats[row + 2].accepted_load +
+                         r.grid_stats[row + 4].accepted_load) /
+                        3.0;
+    EXPECT_DOUBLE_EQ(table->values[0][row], mean);
+    EXPECT_GE(table->values[1][row], 0.0);  // ci95 halfwidth
+  }
+
+  // Replication is deterministic end to end.
+  const ExperimentResult again = execute(e, opt);
+  EXPECT_EQ(stats_bytes(r.grid_stats), stats_bytes(again.grid_stats));
 }
 
 }  // namespace

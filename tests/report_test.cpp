@@ -443,6 +443,67 @@ TEST(ReportDiff, StructuralChangeIsAShapeRegression) {
             DiffClass::ShapeRegression);
 }
 
+/// Adds "<label> ±ci95" companion columns holding `rel` times each
+/// base cell (a uniform relative halfwidth), as --seeds N emits them.
+TableDoc with_ci_columns(TableDoc t, double rel) {
+  const std::size_t n = t.series.size();
+  for (std::size_t s = 0; s < n; ++s) {
+    SeriesDoc ci;
+    ci.label = t.series[s].label + std::string(kCiSuffix);
+    for (double v : t.series[s].values) ci.values.push_back(rel * v);
+    t.series.push_back(std::move(ci));
+  }
+  return t;
+}
+
+TEST(ReportAnalysis, CiCompanionColumnsCarryNoShapeSemantics) {
+  EXPECT_TRUE(is_ci_series("A ±ci95"));
+  EXPECT_FALSE(is_ci_series("A"));
+  EXPECT_FALSE(is_ci_series("±ci95 of A"));
+
+  const TableDoc t = with_ci_columns(
+      accepted_table({0.1, 0.2, 0.25, 0.25}, {0.1, 0.2, 0.30, 0.35}),
+      0.02);
+  const TableAnalysis a = analyze_table(t);
+  ASSERT_EQ(a.series.size(), 4u);
+  // The CI columns never win a bin (their tiny values would "win" a
+  // lower-better metric otherwise) and have no saturation or knee.
+  for (int w : a.winner_per_bin) EXPECT_LT(w, 2);
+  EXPECT_TRUE(std::isnan(a.series[2].saturation));
+  EXPECT_TRUE(std::isnan(a.series[3].knee_x));
+  EXPECT_FALSE(std::isnan(a.series[0].saturation));
+}
+
+TEST(ReportDiff, ReplicaNoiseWidensTheDriftTolerance) {
+  // The same decisive winner flip as above: a shape regression when the
+  // tables carry no noise information...
+  const TableDoc base =
+      accepted_table({0.1, 0.2, 0.35, 0.36}, {0.1, 0.2, 0.30, 0.30});
+  const TableDoc flipped =
+      accepted_table({0.1, 0.2, 0.30, 0.30}, {0.1, 0.2, 0.35, 0.36});
+  ASSERT_EQ(diff_results({one_table_doc(base)}, {one_table_doc(flipped)})
+                .experiments[0]
+                .cls,
+            DiffClass::ShapeRegression);
+
+  // ...but drift when ±ci95 columns show the flip is inside two
+  // relative confidence halfwidths (9% noise -> 18% margin > the 17%
+  // gap between 0.35 and 0.30).
+  const DiffReport noisy =
+      diff_results({one_table_doc(with_ci_columns(base, 0.09))},
+                   {one_table_doc(with_ci_columns(flipped, 0.09))});
+  EXPECT_EQ(noisy.experiments[0].cls, DiffClass::NumericDrift);
+}
+
+TEST(ReportDiff, CiColumnsAreExcludedFromMaxRelDelta) {
+  const TableDoc a = with_ci_columns(accepted_table({0.2}, {0.2}), 0.01);
+  TableDoc b = with_ci_columns(accepted_table({0.202}, {0.2}), 0.01);
+  b.series[2].values[0] = 0.1;  // wild CI change must not dominate
+  const TableDiff d = diff_tables(a, b);
+  EXPECT_EQ(d.cls, DiffClass::NumericDrift);
+  EXPECT_LT(d.max_rel_delta, 0.05);
+}
+
 TEST(ReportDiff, AddedAndRemovedExperimentsAreClassified) {
   const ResultDoc a = one_table_doc(accepted_table({0.1}, {0.1}), "old_exp");
   const ResultDoc b = one_table_doc(accepted_table({0.1}, {0.1}), "new_exp");
