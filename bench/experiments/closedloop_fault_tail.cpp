@@ -1,0 +1,109 @@
+// Closed-loop fault tail — what BIST-detected crossbar faults cost in
+// request TAIL latency.  The paper's fault figures (fig11/fig12) show
+// open-loop throughput barely degrading under faults; a closed-loop
+// client cares about a different number: the p99 of request round-trips
+// that must detour around degraded routers.  Sweeps the crossbar fault
+// fraction for the fault-tolerant designs at a fixed MLP window.
+#include <algorithm>
+
+#include "exp_common.hpp"
+
+namespace dxbar::bench {
+namespace {
+
+const std::vector<double>& fault_fracs() {
+  static const std::vector<double> v = {0.0, 0.25, 0.5, 0.75, 1.0};
+  return v;
+}
+
+struct FaultVariant {
+  const char* label;
+  RouterDesign design;
+  RoutingAlgo routing;
+};
+
+const std::vector<FaultVariant>& fault_designs() {
+  static const std::vector<FaultVariant> v = {
+      {"DXbar DOR", RouterDesign::DXbar, RoutingAlgo::DOR},
+      {"DXbar WF", RouterDesign::DXbar, RoutingAlgo::WestFirst},
+      {"Unified DOR", RouterDesign::UnifiedXbar, RoutingAlgo::DOR},
+  };
+  return v;
+}
+
+const Registration reg(Experiment{
+    .name = "closedloop_fault_tail",
+    .title = "Closed-loop request tail latency vs crossbar fault fraction",
+    .paper_shape =
+        "mean request latency stays nearly flat with faults (matching "
+        "the open-loop throughput story) but p99 grows with the fault "
+        "fraction as round-trips through degraded routers stack both "
+        "directions; DOR keeps the tail growth smallest",
+    .grid =
+        [](const RunContext& ctx) {
+          std::vector<SimConfig> cfgs;
+          for (const FaultVariant& v : fault_designs()) {
+            for (double f : fault_fracs()) {
+              SimConfig c = ctx.base;
+              c.design = v.design;
+              c.routing = v.routing;
+              c.workload = WorkloadKind::ClosedLoop;
+              c.fault_fraction = f;
+              cfgs.push_back(c);
+            }
+          }
+          return cfgs;
+        },
+    .reduce =
+        [](const RunContext& ctx, const std::vector<RunStats>& stats) {
+          std::vector<std::string> x;
+          for (double f : fault_fracs()) {
+            x.push_back(fmt(f * 100, "%.0f%%"));
+          }
+          std::vector<std::string> labels;
+          for (const FaultVariant& v : fault_designs()) {
+            labels.emplace_back(v.label);
+          }
+
+          Table mean, p99, pmax;
+          mean.title = "Average request latency (cycles) vs fault fraction";
+          p99.title = "p99 request latency (cycles) vs fault fraction";
+          pmax.title = "Max request latency (cycles) vs fault fraction";
+          for (Table* t : {&mean, &p99, &pmax}) {
+            t->x_label = "faults";
+            t->x = x;
+            t->series_labels = labels;
+            t->values.assign(labels.size(), {});
+            t->fmt = "%10.1f";
+          }
+
+          std::size_t at = 0;
+          for (std::size_t s = 0; s < labels.size(); ++s) {
+            for (std::size_t i = 0; i < fault_fracs().size(); ++i) {
+              const RunStats& st = stats[at++];
+              mean.values[s].push_back(st.avg_req_latency);
+              p99.values[s].push_back(st.req_latency_p99);
+              pmax.values[s].push_back(st.req_latency_max);
+            }
+          }
+          const std::vector<std::vector<double>> p99_vals = p99.values;
+          ExperimentResult r;
+          r.add_table(std::move(mean));
+          r.add_table(std::move(p99));
+          r.add_table(std::move(pmax));
+
+          // Tail-amplification summary: p99 growth vs the fault-free run.
+          r.addf("\np99 tail amplification vs fault-free (mlp %d):\n",
+                 ctx.base.mlp);
+          for (std::size_t s = 0; s < labels.size(); ++s) {
+            const double base = p99_vals[s][0];
+            const double worst = p99_vals[s].back();
+            r.addf("  %-12s %.2fx\n", labels[s].c_str(),
+                   base == 0.0 ? 0.0 : worst / base);
+          }
+          return r;
+        },
+});
+
+}  // namespace
+}  // namespace dxbar::bench

@@ -1,0 +1,108 @@
+// Closed-loop saturation — request throughput and end-to-end request
+// latency (inject request -> eject reply) as a function of the per-node
+// MLP window, all 8 designs.  Unlike the open-loop figures there is no
+// offered-load axis: each client keeps up to `mlp` requests in flight,
+// so the network self-throttles and the interesting question is where
+// extra MLP stops buying throughput and starts buying only latency.
+//
+// Pure grid + reduce, so it composes with --resume and --seeds like
+// every other grid experiment.
+#include <algorithm>
+
+#include "exp_common.hpp"
+
+namespace dxbar::bench {
+namespace {
+
+const std::vector<RouterDesign>& all_designs() {
+  static const std::vector<RouterDesign> v = {
+      RouterDesign::FlitBless, RouterDesign::Scarab,
+      RouterDesign::Buffered4, RouterDesign::Buffered8,
+      RouterDesign::DXbar,     RouterDesign::UnifiedXbar,
+      RouterDesign::BufferedVC, RouterDesign::Afc,
+  };
+  return v;
+}
+
+std::vector<int> mlp_axis(bool quick) {
+  if (quick) return {1, 4, 16};
+  return {1, 2, 4, 8, 16};
+}
+
+const Registration reg(Experiment{
+    .name = "closedloop_saturation",
+    .title = "Closed-loop request throughput/latency vs MLP (all 8 designs)",
+    .paper_shape =
+        "request throughput rises with MLP until the network saturates, "
+        "then flattens while p99 request latency keeps climbing; the "
+        "buffered crossbar designs (DXbar, Unified) sustain the highest "
+        "request rates before the knee",
+    .grid =
+        [](const RunContext& ctx) {
+          std::vector<SimConfig> cfgs;
+          for (RouterDesign d : all_designs()) {
+            for (int mlp : mlp_axis(ctx.quick)) {
+              SimConfig c = ctx.base;
+              c.design = d;
+              c.routing = RoutingAlgo::DOR;
+              c.workload = WorkloadKind::ClosedLoop;
+              c.mlp = mlp;
+              cfgs.push_back(c);
+            }
+          }
+          return cfgs;
+        },
+    .reduce =
+        [](const RunContext& ctx, const std::vector<RunStats>& stats) {
+          const std::vector<int> mlps = mlp_axis(ctx.quick);
+          std::vector<std::string> x;
+          for (int m : mlps) x.push_back(std::to_string(m));
+          std::vector<std::string> labels;
+          for (RouterDesign d : all_designs()) {
+            labels.emplace_back(to_string(d));
+          }
+
+          Table thr, lat, p99;
+          thr.title = "Requests completed per node per kilocycle vs MLP";
+          lat.title = "Average request latency (cycles) vs MLP";
+          p99.title = "p99 request latency (cycles) vs MLP";
+          for (Table* t : {&thr, &lat, &p99}) {
+            t->x_label = "mlp";
+            t->x = x;
+            t->series_labels = labels;
+            t->values.assign(labels.size(), {});
+          }
+          lat.fmt = "%10.1f";
+          p99.fmt = "%10.1f";
+
+          const double nodes = static_cast<double>(ctx.base.mesh_width) *
+                               static_cast<double>(ctx.base.mesh_height);
+          std::size_t at = 0;
+          for (std::size_t s = 0; s < labels.size(); ++s) {
+            for (std::size_t i = 0; i < mlps.size(); ++i) {
+              const RunStats& st = stats[at++];
+              const double kilocycles =
+                  static_cast<double>(st.cycles) / 1000.0;
+              thr.values[s].push_back(
+                  kilocycles == 0.0
+                      ? 0.0
+                      : static_cast<double>(st.requests_completed) /
+                            (nodes * kilocycles));
+              lat.values[s].push_back(st.avg_req_latency);
+              p99.values[s].push_back(st.req_latency_p99);
+            }
+          }
+          ExperimentResult r;
+          r.add_table(std::move(thr));
+          r.add_table(std::move(lat));
+          r.add_table(std::move(p99));
+          r.addf("\nLatency is end-to-end: request inject -> reply eject, "
+                 "including the\n%llu-cycle service delay at the "
+                 "destination.\n",
+                 static_cast<unsigned long long>(ctx.base.service_delay));
+          return r;
+        },
+});
+
+}  // namespace
+}  // namespace dxbar::bench

@@ -29,14 +29,11 @@ const Registration reg(Experiment{
             }
           }
 
-          std::vector<ClosedLoopResult> results(jobs.size());
-          parallel_for(
-              jobs.size(),
-              [&](std::size_t i) {
-                results[i] =
-                    run_splash(jobs[i].first, *jobs[i].second, 2'000'000);
-              },
-              ctx.threads);
+          const std::vector<ClosedLoopResult> results = run_closed_loop_jobs(
+              ctx, "fig10", jobs.size(),
+              splash_jobs_fingerprint(jobs, 2'000'000), [&](std::size_t i) {
+                return run_splash(jobs[i].first, *jobs[i].second, 2'000'000);
+              });
 
           Table t;
           t.title =
@@ -68,6 +65,7 @@ const Registration reg(Experiment{
           }
           return r;
         },
+    .custom_resume = true,
 });
 
 }  // namespace

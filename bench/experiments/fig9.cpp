@@ -34,14 +34,11 @@ const Registration reg(Experiment{
             }
           }
 
-          std::vector<ClosedLoopResult> results(jobs.size());
-          parallel_for(
-              jobs.size(),
-              [&](std::size_t i) {
-                results[i] =
-                    run_splash(jobs[i].first, *jobs[i].second, 2'000'000);
-              },
-              ctx.threads);
+          const std::vector<ClosedLoopResult> results = run_closed_loop_jobs(
+              ctx, "fig9", jobs.size(),
+              splash_jobs_fingerprint(jobs, 2'000'000), [&](std::size_t i) {
+                return run_splash(jobs[i].first, *jobs[i].second, 2'000'000);
+              });
 
           // Normalize to Buffered 4 (series index 2 in figure_designs()).
           const std::size_t baseline = 2;
@@ -76,6 +73,7 @@ const Registration reg(Experiment{
           r.exit_code = all_finished ? 0 : 1;
           return r;
         },
+    .custom_resume = true,
 });
 
 }  // namespace

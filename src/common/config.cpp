@@ -121,6 +121,17 @@ std::string SimConfig::validate() const {
   }
   if (packet_length < 1) return "packet_length must be >= 1";
   if (flit_bits < 1) return "flit_bits must be >= 1";
+  if (mlp < 1) return "mlp must be >= 1";
+  if (request_length < 1) return "request_length must be >= 1";
+  if (hotspot_fraction < 0.0 || hotspot_fraction > 1.0) {
+    return "hotspot_fraction must lie in [0, 1]";
+  }
+  if (workload == WorkloadKind::ClosedLoop &&
+      design == RouterDesign::BufferedVC && num_vcs < 2) {
+    // Replies ride a reserved VC partition on the VC router; with one VC
+    // there is no partition and request-reply cycles could deadlock.
+    return "closedloop workload on the VC router requires num_vcs >= 2";
+  }
   if (fault_fraction < 0.0 || fault_fraction > 1.0) {
     return "fault_fraction must lie in [0, 1]";
   }
@@ -159,6 +170,8 @@ std::string SimConfig::describe() const {
       "design            %s\n"
       "routing           %s\n"
       "pattern           %s\n"
+      "workload          %s (mlp %d, service %llu, req_len %d, "
+      "hotspot %.2f)\n"
       "offered_load      %.3f\n"
       "packet_length     %d flits (%d bits each)\n"
       "buffer_depth      %d\n"
@@ -174,7 +187,10 @@ std::string SimConfig::describe() const {
       mesh_width, mesh_height, torus ? " torus" : "",
       std::string(to_string(design)).c_str(),
       std::string(to_string(routing)).c_str(),
-      std::string(to_string(pattern)).c_str(), offered_load, packet_length,
+      std::string(to_string(pattern)).c_str(),
+      std::string(to_string(workload)).c_str(), mlp,
+      static_cast<unsigned long long>(service_delay), request_length,
+      hotspot_fraction, offered_load, packet_length,
       flit_bits, buffer_depth, num_vcs, fairness_threshold,
       stall_escape_delay, static_cast<unsigned long long>(warmup_cycles),
       static_cast<unsigned long long>(measure_cycles),
@@ -231,6 +247,27 @@ std::string apply_override(SimConfig& cfg, std::string_view arg) {
   } else if (key == "num_vcs") {
     if (!parse_int(val, i)) return bad();
     cfg.num_vcs = static_cast<int>(i);
+  } else if (key == "workload") {
+    const std::string w = lower(val);
+    if (w == "synthetic" || w == "open") {
+      cfg.workload = WorkloadKind::Synthetic;
+    } else if (w == "closedloop" || w == "closed") {
+      cfg.workload = WorkloadKind::ClosedLoop;
+    } else {
+      return bad();
+    }
+  } else if (key == "mlp") {
+    if (!parse_int(val, i)) return bad();
+    cfg.mlp = static_cast<int>(i);
+  } else if (key == "service_delay") {
+    if (!parse_int(val, i)) return bad();
+    cfg.service_delay = static_cast<Cycle>(i);
+  } else if (key == "request_length") {
+    if (!parse_int(val, i)) return bad();
+    cfg.request_length = static_cast<int>(i);
+  } else if (key == "hotspot_fraction") {
+    if (!parse_double(val, d)) return bad();
+    cfg.hotspot_fraction = d;
   } else if (key == "load") {
     if (!parse_double(val, d)) return bad();
     cfg.offered_load = d;

@@ -60,6 +60,22 @@ struct SimConfig {
   /// Flit width in bits (paper: 128).
   int flit_bits = 128;
 
+  // --- closed-loop workload (workload=closedloop; DESIGN.md section 12) --
+  /// Which workload model drives injection.  Synthetic (default) keeps
+  /// the paper's open-loop Bernoulli traffic; ClosedLoop switches to the
+  /// finite-MLP request-reply client model in src/workload/.
+  WorkloadKind workload = WorkloadKind::Synthetic;
+  /// Memory-level parallelism: outstanding requests each node may hold.
+  int mlp = 4;
+  /// Cycles the destination "serves" a request before issuing the reply.
+  Cycle service_delay = 8;
+  /// Request packet length in flits (a read request is address-only;
+  /// the reply carries the data and uses packet_length).
+  int request_length = 1;
+  /// Fraction of requests aimed at the four mesh-center hotspot nodes
+  /// instead of a uniformly random destination.
+  double hotspot_fraction = 0.0;
+
   // --- phases -----------------------------------------------------------
   Cycle warmup_cycles = 1000;
   Cycle measure_cycles = 8000;

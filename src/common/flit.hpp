@@ -27,13 +27,17 @@ struct Flit {
   Cycle injected_at = 0;      ///< cycle the flit entered the network
   Cycle born_at = 0;          ///< cycle the packet was created (age basis)
   std::uint8_t vc = 0;            ///< virtual channel (VC router only)
+  std::uint8_t cls = 0;           ///< MsgClass (replies beat requests)
   std::uint8_t deflections = 0;   ///< times this flit was deflected
   std::uint8_t retransmits = 0;   ///< times this flit was dropped+resent
   std::uint16_t hops = 0;         ///< link traversals so far
 
-  /// Age-based priority: older packets win; packet id breaks ties so the
-  /// order is total and deterministic.
+  /// Age-based priority: reply-class flits beat request-class flits (the
+  /// deadlock-avoidance rule for closed-loop traffic; single-class runs
+  /// are unaffected since every cls is 0), then older packets win;
+  /// packet id breaks ties so the order is total and deterministic.
   [[nodiscard]] bool older_than(const Flit& o) const noexcept {
+    if (cls != o.cls) return cls > o.cls;
     if (born_at != o.born_at) return born_at < o.born_at;
     if (packet != o.packet) return packet < o.packet;
     return seq < o.seq;
@@ -51,6 +55,7 @@ struct PacketRecord {
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;
   std::uint16_t length = 1;
+  std::uint8_t cls = 0;  ///< MsgClass of the packet's flits
   Cycle created = 0;    ///< packet creation (queued at source)
   Cycle injected = 0;   ///< first flit entered the network
   Cycle completed = 0;  ///< last flit ejected

@@ -426,6 +426,15 @@ void json_config(JsonWriter& w, const SimConfig& cfg) {
   // Written only when set, like the `shards` execution knob it follows:
   // existing result corpora stay byte-identical.
   if (cfg.measure_seed != 0) w.key("measure_seed").value(cfg.measure_seed);
+  // Closed-loop knobs appear only for closed-loop runs, so synthetic
+  // result corpora (including the golden file) stay byte-identical.
+  if (cfg.workload != WorkloadKind::Synthetic) {
+    w.key("workload").value(to_string(cfg.workload));
+    w.key("mlp").value(cfg.mlp);
+    w.key("service_delay").value(static_cast<std::uint64_t>(cfg.service_delay));
+    w.key("request_length").value(cfg.request_length);
+    w.key("hotspot_fraction").value(cfg.hotspot_fraction);
+  }
   w.end_object();
 }
 
@@ -454,6 +463,16 @@ void json_run_stats(JsonWriter& w, const RunStats& s) {
   w.key("energy_link_nj").value(s.energy_link_nj);
   w.key("energy_control_nj").value(s.energy_control_nj);
   w.key("energy_per_packet_nj").value(s.energy_per_packet_nj());
+  // Request-level (closed-loop) block: omitted when no requests
+  // completed, which keeps open-loop documents byte-identical.
+  if (s.requests_completed != 0) {
+    w.key("requests_completed").value(s.requests_completed);
+    w.key("avg_req_latency").value(s.avg_req_latency);
+    w.key("req_latency_p50").value(s.req_latency_p50);
+    w.key("req_latency_p95").value(s.req_latency_p95);
+    w.key("req_latency_p99").value(s.req_latency_p99);
+    w.key("req_latency_max").value(s.req_latency_max);
+  }
   w.end_object();
 }
 

@@ -46,6 +46,15 @@ struct RunStats {
   double energy_crossbar_nj = 0.0;
   double energy_link_nj = 0.0;
   double energy_control_nj = 0.0;  ///< NACK network, retransmission control
+  // Closed-loop request-reply latency (cycles, request inject -> reply
+  // eject), filled by ClosedLoopWorkload::fill_run_stats; all zero for
+  // open-loop runs.
+  double avg_req_latency = 0.0;
+  double req_latency_p50 = 0.0;
+  double req_latency_p95 = 0.0;
+  double req_latency_p99 = 0.0;
+  double req_latency_max = 0.0;
+  std::uint64_t requests_completed = 0;
 
   [[nodiscard]] double total_energy_nj() const noexcept {
     return energy_buffer_nj + energy_crossbar_nj + energy_link_nj +

@@ -136,6 +136,38 @@ constexpr std::string_view to_string(TrafficPattern p) noexcept {
   return "?";
 }
 
+/// Message classes for request-reply (closed-loop) traffic.  Replies
+/// must never be blocked behind requests — they ride a reserved VC
+/// partition on buffered-VC designs and win age-arbitration ties on
+/// every other design — so request-reply dependency cycles cannot
+/// protocol-deadlock (DESIGN.md section 12).
+enum class MsgClass : std::uint8_t {
+  Request = 0,
+  Reply = 1,
+};
+
+constexpr std::string_view to_string(MsgClass c) noexcept {
+  switch (c) {
+    case MsgClass::Request: return "req";
+    case MsgClass::Reply: return "rep";
+  }
+  return "?";
+}
+
+/// Which workload model drives injection for a run.
+enum class WorkloadKind : std::uint8_t {
+  Synthetic,   ///< open-loop Bernoulli pattern traffic (the paper's)
+  ClosedLoop,  ///< finite-MLP request-reply clients (DESIGN.md section 12)
+};
+
+constexpr std::string_view to_string(WorkloadKind k) noexcept {
+  switch (k) {
+    case WorkloadKind::Synthetic: return "synthetic";
+    case WorkloadKind::ClosedLoop: return "closedloop";
+  }
+  return "?";
+}
+
 /// Routing algorithms: the paper evaluates DOR and West-First; the
 /// other turn models are extensions on the same interface.
 enum class RoutingAlgo : std::uint8_t {

@@ -77,6 +77,11 @@ struct RunContext {
   bool quick = false;
   unsigned threads = 0;  ///< 0 = hardware concurrency
 
+  /// Session --resume root, forwarded to experiments that declared
+  /// `custom_resume` (empty otherwise): a custom `run` persists its own
+  /// per-point results under `<resume_dir>/<name>/`.
+  std::string resume_dir;
+
   /// Runs an open-loop grid through the session executor (warm-start
   /// sweep, or the crash-resumable campaign under --resume).  The
   /// runner invokes this on `Experiment::grid` output itself; custom
@@ -98,6 +103,10 @@ struct Experiment {
 
   /// Custom execution for non-grid experiments (used when grid == null).
   std::function<ExperimentResult(const RunContext&)> run;
+
+  /// Custom `run` understands ctx.resume_dir (closed-loop campaigns):
+  /// the runner forwards --resume instead of warning it has no effect.
+  bool custom_resume = false;
 };
 
 /// snprintf into a std::string (the benches' number-formatting helper).

@@ -600,10 +600,14 @@ ExperimentResult execute(const Experiment& exp, const RunOptions& opt) {
     result.executor = campaign_mode ? "campaign" : "warm_sweep";
   } else {
     if (campaign_mode) {
-      std::fprintf(stderr,
-                   "dxbar_bench: %s: not an open-loop grid experiment; "
-                   "--resume has no effect\n",
-                   exp.name.c_str());
+      if (exp.custom_resume) {
+        ctx.resume_dir = opt.resume_dir;
+      } else {
+        std::fprintf(stderr,
+                     "dxbar_bench: %s: not an open-loop grid experiment; "
+                     "--resume has no effect\n",
+                     exp.name.c_str());
+      }
     }
     if (opt.seeds > 1) {
       std::fprintf(stderr,

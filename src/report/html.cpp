@@ -1,0 +1,204 @@
+#include "report/html.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "report/analysis.hpp"
+#include "report/render.hpp"
+
+namespace dxbar::report {
+
+namespace {
+
+std::string html_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string cell(double v) {
+  if (std::isnan(v)) return "—";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+/// Shared <head> + styles + the click-to-sort script.  Sorting compares
+/// numerically when both cells parse as numbers, lexically otherwise,
+/// and a second click on the same header reverses the order.
+void page_head(std::string& h, const std::string& title) {
+  h += "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n";
+  h += "<meta charset=\"utf-8\">\n";
+  h += "<title>" + html_escape(title) + "</title>\n";
+  h +=
+      "<style>\n"
+      "body{font-family:system-ui,sans-serif;margin:2rem auto;"
+      "max-width:64rem;padding:0 1rem;color:#1a1a1a}\n"
+      "table{border-collapse:collapse;margin:1rem 0}\n"
+      "th,td{border:1px solid #ccc;padding:.25rem .6rem;"
+      "text-align:right;font-variant-numeric:tabular-nums}\n"
+      "th{background:#f2f2f2;cursor:pointer;user-select:none}\n"
+      "th:first-child,td:first-child{text-align:left}\n"
+      "th.sorted-asc::after{content:\" \\25B2\"}\n"
+      "th.sorted-desc::after{content:\" \\25BC\"}\n"
+      "details{margin:1rem 0}\n"
+      "pre{background:#f7f7f7;padding:.75rem;overflow-x:auto}\n"
+      "a{color:#0b61a4}\n"
+      ".meta{color:#555}\n"
+      "</style>\n";
+  h +=
+      "<script>\n"
+      "function sortBy(th){\n"
+      "  const table=th.closest('table');\n"
+      "  const col=Array.prototype.indexOf.call(th.parentNode.children,th);\n"
+      "  const asc=!th.classList.contains('sorted-asc');\n"
+      "  for(const o of th.parentNode.children)"
+      "o.classList.remove('sorted-asc','sorted-desc');\n"
+      "  th.classList.add(asc?'sorted-asc':'sorted-desc');\n"
+      "  const rows=Array.from(table.tBodies[0].rows);\n"
+      "  rows.sort((a,b)=>{\n"
+      "    const x=a.cells[col].textContent,y=b.cells[col].textContent;\n"
+      "    const nx=parseFloat(x),ny=parseFloat(y);\n"
+      "    const c=(!isNaN(nx)&&!isNaN(ny))?nx-ny:x.localeCompare(y);\n"
+      "    return asc?c:-c;\n"
+      "  });\n"
+      "  for(const r of rows)table.tBodies[0].appendChild(r);\n"
+      "}\n"
+      "document.addEventListener('DOMContentLoaded',()=>{\n"
+      "  for(const th of document.querySelectorAll('th'))"
+      "th.onclick=()=>sortBy(th);\n"
+      "});\n"
+      "</script>\n";
+  h += "</head>\n<body>\n";
+}
+
+void render_html_table(std::string& h, const TableDoc& t) {
+  h += "<table>\n<thead><tr><th>" + html_escape(t.x_label) + "</th>";
+  for (const SeriesDoc& s : t.series) {
+    h += "<th>" + html_escape(s.label) + "</th>";
+  }
+  h += "</tr></thead>\n<tbody>\n";
+  for (std::size_t i = 0; i < t.x.size(); ++i) {
+    h += "<tr><td>" + html_escape(t.x[i]) + "</td>";
+    for (const SeriesDoc& s : t.series) {
+      h += "<td>" + cell(s.values[i]) + "</td>";
+    }
+    h += "</tr>\n";
+  }
+  h += "</tbody>\n</table>\n";
+}
+
+std::string meta_line(const ResultDoc& doc) {
+  std::string m = "executor <code>" + html_escape(doc.executor) + "</code>";
+  if (!doc.points.empty()) {
+    m += ", " + std::to_string(doc.points.size()) + " points";
+  }
+  if (doc.warm_groups > 0) {
+    m += ", " + std::to_string(doc.warm_groups) + " warm group(s)";
+  }
+  if (doc.quick) m += ", quick";
+  if (!doc.overrides.empty()) {
+    m += ", overrides:";
+    for (const std::string& o : doc.overrides) {
+      m += " <code>" + html_escape(o) + "</code>";
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+std::string render_html_experiment(const ResultDoc& doc) {
+  std::string h;
+  page_head(h, doc.experiment + " — " + doc.title);
+  h += "<p><a href=\"index.html\">&larr; index</a></p>\n";
+  h += "<h1>" + html_escape(doc.experiment) + " — " +
+       html_escape(doc.title) + "</h1>\n";
+  h += "<p class=\"meta\">" + meta_line(doc) + ", git <code>" +
+       html_escape(doc.git_describe) + "</code></p>\n";
+  for (const TableDoc& t : doc.tables) {
+    const TableAnalysis a = analyze_table(t);
+    h += "<h2>" + html_escape(t.title) + "</h2>\n";
+    if (!t.series.empty() && !t.x.empty()) {
+      h += make_table_chart(t, a).render() + "\n";
+      render_html_table(h, t);
+    }
+  }
+  if (!doc.notes.empty()) {
+    h += "<details><summary>notes</summary>\n<pre>" +
+         html_escape(doc.notes) + "</pre>\n</details>\n";
+  }
+  h += "</body>\n</html>\n";
+  return h;
+}
+
+std::string render_html_index(const std::vector<ResultDoc>& docs,
+                              std::string_view source_label) {
+  std::string h;
+  page_head(h, "dxbar experiment report");
+  h += "<h1>dxbar experiment report</h1>\n";
+  h += "<p class=\"meta\">Source: <code>" + html_escape(source_label) +
+       "</code> — " + std::to_string(docs.size()) + " experiment(s)";
+  if (!docs.empty()) {
+    h += ", git <code>" + html_escape(docs.front().git_describe) +
+         "</code>, schema v" + std::to_string(docs.front().schema_version);
+  }
+  h += "</p>\n";
+  h += "<table>\n<thead><tr><th>experiment</th><th>title</th>"
+       "<th>executor</th><th>points</th><th>tables</th></tr></thead>\n"
+       "<tbody>\n";
+  for (const ResultDoc& doc : docs) {
+    h += "<tr><td><a href=\"" + html_escape(doc.experiment) + ".html\">" +
+         html_escape(doc.experiment) + "</a></td><td>" +
+         html_escape(doc.title) + "</td><td>" + html_escape(doc.executor) +
+         "</td><td>" + std::to_string(doc.points.size()) + "</td><td>" +
+         std::to_string(doc.tables.size()) + "</td></tr>\n";
+  }
+  h += "</tbody>\n</table>\n";
+  h += "</body>\n</html>\n";
+  return h;
+}
+
+std::string write_html_report(const std::vector<ResultDoc>& docs,
+                              const std::string& out_dir,
+                              std::string_view source_label) {
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) return out_dir + ": " + ec.message();
+
+  auto write = [](const std::string& path,
+                  const std::string& content) -> std::string {
+    std::ofstream out(path);
+    if (!out) return path + ": cannot open for writing";
+    out << content;
+    if (!out.flush()) return path + ": write failed";
+    return {};
+  };
+
+  if (std::string err = write(out_dir + "/index.html",
+                              render_html_index(docs, source_label));
+      !err.empty()) {
+    return err;
+  }
+  for (const ResultDoc& doc : docs) {
+    if (std::string err = write(out_dir + "/" + doc.experiment + ".html",
+                                render_html_experiment(doc));
+        !err.empty()) {
+      return err;
+    }
+  }
+  return {};
+}
+
+}  // namespace dxbar::report

@@ -1,0 +1,32 @@
+// Static HTML report rendering: one self-contained page per experiment
+// (inline-SVG plot + sortable data table per TableDoc) plus an index
+// page linking them.  No external assets and no randomness — the same
+// documents always render to the same bytes, like the markdown reports.
+// Tables sort client-side with a ~20-line inline script; everything
+// else is static markup.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "report/result_io.hpp"
+
+namespace dxbar::report {
+
+/// Renders the index page: experiment list with titles and run
+/// metadata, each row linking to `<experiment>.html`.
+std::string render_html_index(const std::vector<ResultDoc>& docs,
+                              std::string_view source_label);
+
+/// Renders one experiment page.
+std::string render_html_experiment(const ResultDoc& doc);
+
+/// Writes `index.html` plus one `<experiment>.html` per document into
+/// `out_dir` (created if missing).  Returns an empty string on success
+/// or the first error.
+std::string write_html_report(const std::vector<ResultDoc>& docs,
+                              const std::string& out_dir,
+                              std::string_view source_label);
+
+}  // namespace dxbar::report

@@ -33,8 +33,6 @@ std::string md_escape(const std::string& s) {
   return out;
 }
 
-/// Builds the chart for one table: numeric x axes plot as curves,
-/// categorical axes plot across slots with category tick labels.
 /// The "<label> ±ci95" companion of a series, when the table has one.
 const SeriesDoc* ci_companion(const TableDoc& t, const std::string& label) {
   const std::string want = label + std::string(kCiSuffix);
@@ -44,8 +42,10 @@ const SeriesDoc* ci_companion(const TableDoc& t, const std::string& label) {
   return nullptr;
 }
 
-SvgChart table_chart(const TableDoc& t, const TableAnalysis& a,
-                     const std::string& title_override = {}) {
+}  // namespace
+
+SvgChart make_table_chart(const TableDoc& t, const TableAnalysis& a,
+                          const std::string& title_override) {
   SvgChart chart(title_override.empty() ? t.title : title_override,
                  t.x_label, "");
   if (!a.numeric_x) chart.set_categories(t.x);
@@ -69,6 +69,8 @@ SvgChart table_chart(const TableDoc& t, const TableAnalysis& a,
   }
   return chart;
 }
+
+namespace {
 
 void render_markdown_table(std::string& md, const TableDoc& t) {
   md += "| " + md_escape(t.x_label) + " |";
@@ -107,7 +109,7 @@ void render_table_section(std::string& md, const TableDoc& t) {
   const TableAnalysis a = analyze_table(t);
   md += "### " + t.title + "\n\n";
   if (!t.series.empty() && !t.x.empty()) {
-    md += table_chart(t, a).render() + "\n\n";
+    md += make_table_chart(t, a).render() + "\n\n";
     render_markdown_table(md, t);
     md += "\n";
     if (a.is_accepted_vs_offered) {

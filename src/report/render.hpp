@@ -13,10 +13,19 @@
 #include <string_view>
 #include <vector>
 
+#include "report/analysis.hpp"
 #include "report/diff.hpp"
 #include "report/result_io.hpp"
+#include "report/svg.hpp"
 
 namespace dxbar::report {
+
+/// Builds the chart for one table: numeric x axes plot as curves,
+/// categorical axes plot across slots with category tick labels; "±ci95"
+/// companion series render as error bars on their base series.  Shared
+/// by the markdown and HTML renderers.
+SvgChart make_table_chart(const TableDoc& t, const TableAnalysis& a,
+                          const std::string& title_override = {});
 
 /// Renders the full report for one result directory.  `source_label`
 /// names where the documents came from (shown in the header).

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "report/diff.hpp"
+#include "report/html.hpp"
 #include "report/render.hpp"
 #include "report/result_io.hpp"
 
@@ -18,7 +19,7 @@ namespace {
 void print_usage(std::FILE* to) {
   std::fprintf(
       to,
-      "usage: dxbar_report render <dir> [-o FILE]\n"
+      "usage: dxbar_report render <dir> [-o FILE] [--html]\n"
       "       dxbar_report diff <base-dir> <new-dir> [-o FILE]\n"
       "                    [--tie-margin X] [--sat-tol X]\n"
       "\n"
@@ -27,6 +28,10 @@ void print_usage(std::FILE* to) {
       "        inline-SVG plot, the table data and derived shape metrics\n"
       "        (saturation points, winners, knees) per experiment.\n"
       "        Default output: <dir>/report.md\n"
+      "        --html writes a static HTML report instead: an index page\n"
+      "        plus one page per experiment with SVG plots and sortable\n"
+      "        tables.  -o names the output DIRECTORY (default\n"
+      "        <dir>/html).\n"
       "diff    compare two result directories and classify every\n"
       "        experiment as identical / numeric-drift / SHAPE-REGRESSION\n"
       "        (winner flip, saturation shift, curve-crossing change).\n"
@@ -64,6 +69,7 @@ bool parse_double(const char* s, double& out) {
 
 int run_render(std::span<const char* const> args) {
   std::string dir, out_path;
+  bool html = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (std::strcmp(args[i], "-o") == 0) {
       if (i + 1 >= args.size()) {
@@ -71,6 +77,8 @@ int run_render(std::span<const char* const> args) {
         return 2;
       }
       out_path = args[++i];
+    } else if (std::strcmp(args[i], "--html") == 0) {
+      html = true;
     } else if (dir.empty()) {
       dir = args[i];
     } else {
@@ -83,7 +91,7 @@ int run_render(std::span<const char* const> args) {
     print_usage(stderr);
     return 2;
   }
-  if (out_path.empty()) out_path = dir + "/report.md";
+  if (out_path.empty()) out_path = html ? dir + "/html" : dir + "/report.md";
 
   std::vector<ResultDoc> docs;
   const std::string errors = load_result_dir(dir, docs);
@@ -95,9 +103,19 @@ int run_render(std::span<const char* const> args) {
                  dir.c_str());
     return 2;
   }
-  if (!write_file(out_path, render_report(docs, dir))) return 2;
-  std::printf("dxbar_report: wrote %s (%zu experiment(s))\n",
-              out_path.c_str(), docs.size());
+  if (html) {
+    if (const std::string err = write_html_report(docs, out_path, dir);
+        !err.empty()) {
+      std::fprintf(stderr, "dxbar_report: %s\n", err.c_str());
+      return 2;
+    }
+    std::printf("dxbar_report: wrote %s/index.html (+%zu page(s))\n",
+                out_path.c_str(), docs.size());
+  } else {
+    if (!write_file(out_path, render_report(docs, dir))) return 2;
+    std::printf("dxbar_report: wrote %s (%zu experiment(s))\n",
+                out_path.c_str(), docs.size());
+  }
   return errors.empty() ? 0 : 2;
 }
 

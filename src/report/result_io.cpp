@@ -191,6 +191,22 @@ class ObjReader {
     uint64(key, out);
   }
 
+  /// Writer-omits-at-default variants for the closed-loop blocks.
+  void opt_integer(std::string_view key, int& out) {
+    if (!err_.empty() || v_.find(key) == nullptr) return;
+    integer(key, out);
+  }
+
+  void opt_number(std::string_view key, double& out) {
+    if (!err_.empty() || v_.find(key) == nullptr) return;
+    number(key, out);
+  }
+
+  void opt_string(std::string_view key, std::string& out) {
+    if (!err_.empty() || v_.find(key) == nullptr) return;
+    string(key, out);
+  }
+
   const JsonValue* array(std::string_view key) {
     return get(key, JsonValue::Type::Array, "array");
   }
@@ -282,6 +298,26 @@ void read_config(const JsonValue& v, const std::string& path, SimConfig& cfg,
   r.number("link_faults", cfg.link_fault_fraction);
   r.uint64("seed", cfg.seed);
   r.opt_uint64("measure_seed", cfg.measure_seed);
+  // Closed-loop block: present only when the writer saw a non-synthetic
+  // workload, so the kind defaults to Synthetic when absent.
+  std::string workload;
+  r.opt_string("workload", workload);
+  if (r.ok() && !workload.empty()) {
+    if (workload == to_string(WorkloadKind::ClosedLoop)) {
+      cfg.workload = WorkloadKind::ClosedLoop;
+    } else if (workload == to_string(WorkloadKind::Synthetic)) {
+      cfg.workload = WorkloadKind::Synthetic;
+    } else {
+      err = path + ".workload: unknown workload '" + workload + "'";
+      return;
+    }
+  }
+  r.opt_integer("mlp", cfg.mlp);
+  std::uint64_t service_delay = cfg.service_delay;
+  r.opt_uint64("service_delay", service_delay);
+  cfg.service_delay = service_delay;
+  r.opt_integer("request_length", cfg.request_length);
+  r.opt_number("hotspot_fraction", cfg.hotspot_fraction);
   r.finish();
 }
 
@@ -314,6 +350,13 @@ void read_stats(const JsonValue& v, const std::string& path, RunStats& s,
   // of the schema but the stored value is not load-bearing.
   double derived = 0.0;
   r.number("energy_per_packet_nj", derived);
+  // Request-level block (closed-loop runs only; absent otherwise).
+  r.opt_uint64("requests_completed", s.requests_completed);
+  r.opt_number("avg_req_latency", s.avg_req_latency);
+  r.opt_number("req_latency_p50", s.req_latency_p50);
+  r.opt_number("req_latency_p95", s.req_latency_p95);
+  r.opt_number("req_latency_p99", s.req_latency_p99);
+  r.opt_number("req_latency_max", s.req_latency_max);
   r.finish();
 }
 

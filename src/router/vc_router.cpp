@@ -8,6 +8,8 @@ VcRouter::VcRouter(NodeId id, const RouterEnv& env)
     : Router(id, env),
       num_vcs_(env.cfg->num_vcs),
       vc_depth_(env.cfg->buffer_depth / env.cfg->num_vcs),
+      class_vcs_(env.cfg->workload == WorkloadKind::ClosedLoop &&
+                 env.cfg->num_vcs >= 2),
       allocator_(kNumPorts, kNumPorts) {
   assert(vc_depth_ >= 1);
   vcs_.reserve(static_cast<std::size_t>(kNumLinkDirs * num_vcs_));
@@ -64,7 +66,16 @@ void VcRouter::step(Cycle now) {
     if (out < 0) continue;
     const Direction out_dir = port_from_index(out);
 
-    // Output VC / credit check (the speculative part).
+    // Output VC / credit check (the speculative part).  Under the
+    // closed-loop class partition a flit may only claim downstream VCs
+    // of its own virtual network.
+    const Flit& head =
+        i == inj_input
+            ? source->front()
+            : vcs_[static_cast<std::size_t>(vc_index(
+                       i, chosen_vc[static_cast<std::size_t>(i)]))]
+                  .front()
+                  .flit;
     int out_vc = -1;
     if (out_dir != Direction::Local) {
       Channel* ch = env_.out_links[static_cast<std::size_t>(out)];
@@ -72,6 +83,7 @@ void VcRouter::step(Cycle now) {
       for (int v = 0; v < num_vcs_; ++v) {
         if (ch->can_send_vc(v)) avail |= 1u << v;
       }
+      avail &= class_mask(head.cls);
       out_vc = out_vc_pick_[static_cast<std::size_t>(out)].grant(avail);
       if (out_vc < 0) {
         // Speculation failed: no downstream VC credit; the crossbar slot

@@ -11,6 +11,13 @@
 // the allocation speculative: a winner without a downstream credit
 // wastes the output's cycle, the baseline inefficiency the paper's
 // single-cycle DXbar pipeline avoids.
+//
+// Closed-loop request-reply runs partition the VCs into two virtual
+// networks — requests claim downstream VCs in [0, num_vcs/2), replies
+// in [num_vcs/2, num_vcs) — so a reply can never wait on a buffer
+// occupied by a request and request-reply cycles cannot protocol
+// deadlock (DESIGN.md section 12).  Single-class runs are untouched
+// (the partition only activates for workload=closedloop).
 #pragma once
 
 #include <vector>
@@ -50,8 +57,17 @@ class VcRouter final : public Router {
     return dir * num_vcs_ + vc;
   }
 
+  /// Downstream-VC mask a flit of message class `cls` may claim.
+  [[nodiscard]] std::uint32_t class_mask(std::uint8_t cls) const noexcept {
+    if (!class_vcs_) return ~std::uint32_t{0};
+    const int half = num_vcs_ / 2;
+    const std::uint32_t lo = (1u << half) - 1u;
+    return cls == 0 ? lo : ((1u << num_vcs_) - 1u) & ~lo;
+  }
+
   int num_vcs_;
   int vc_depth_;
+  bool class_vcs_;  ///< partition VCs by message class (closed loop)
   std::vector<FixedQueue<Entry>> vcs_;  ///< kNumLinkDirs * num_vcs_
   std::vector<RoundRobinArbiter> vc_pick_;  ///< per input dir
   std::vector<RoundRobinArbiter> out_vc_pick_;  ///< per output dir

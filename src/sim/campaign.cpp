@@ -8,6 +8,7 @@
 #include "sim/network.hpp"
 #include "snapshot/serialize.hpp"
 #include "traffic/traffic_gen.hpp"
+#include "workload/factory.hpp"
 
 namespace dxbar {
 
@@ -122,7 +123,7 @@ void Campaign::append_result(std::size_t point, const RunStats& stats) {
 
 void Campaign::write_checkpoint(std::size_t point, std::uint8_t stage,
                                 Cycle drain_t, const Network& net,
-                                const SyntheticWorkload& workload) const {
+                                const WorkloadModel& workload) const {
   SnapshotWriter w;
   w.begin_section(kSecCampaign);
   w.u32(static_cast<std::uint32_t>(point));
@@ -167,7 +168,7 @@ CampaignStatus Campaign::run(std::uint64_t cycle_budget) {
     const SimConfig& cfg = points_[i];
 
     auto net = std::make_unique<Network>(cfg);
-    auto workload = std::make_unique<SyntheticWorkload>(cfg, net->mesh());
+    auto workload = make_workload(cfg, net->mesh());
     net->set_workload(workload.get());
 
     std::uint8_t stage = 0;
@@ -193,7 +194,7 @@ CampaignStatus Campaign::run(std::uint64_t cycle_budget) {
         // Corrupt or foreign checkpoint: restart the point cold.  load()
         // may have partially mutated the network, so rebuild it.
         net = std::make_unique<Network>(cfg);
-        workload = std::make_unique<SyntheticWorkload>(cfg, net->mesh());
+        workload = make_workload(cfg, net->mesh());
         net->set_workload(workload.get());
         stage = 0;
         drain_t = 0;
@@ -224,7 +225,7 @@ CampaignStatus Campaign::run(std::uint64_t cycle_budget) {
 
     bool drained = false;
     while (drain_t < cfg.drain_cycles) {
-      if (net->idle()) {
+      if (net->idle() && workload->quiescent()) {
         drained = true;
         break;
       }
@@ -237,7 +238,7 @@ CampaignStatus Campaign::run(std::uint64_t cycle_budget) {
         since_checkpoint = 0;
       }
     }
-    drained = drained || net->idle();
+    drained = drained || (net->idle() && workload->quiescent());
 
     RunStats out = net->stats().summarize(cfg.offered_load, drained);
     out.packet_length = cfg.packet_length;
@@ -245,6 +246,7 @@ CampaignStatus Campaign::run(std::uint64_t cycle_budget) {
     out.energy_crossbar_nj = net->energy().crossbar_nj();
     out.energy_link_nj = net->energy().link_nj();
     out.energy_control_nj = net->energy().control_nj();
+    workload->fill_run_stats(out);
 
     // Persist the result BEFORE dropping the checkpoint: a crash between
     // the two leaves a stale checkpoint for a completed point, which the

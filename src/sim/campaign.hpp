@@ -66,7 +66,7 @@ class Campaign {
   void append_result(std::size_t point, const RunStats& stats);
   void write_checkpoint(std::size_t point, std::uint8_t stage, Cycle drain_t,
                         const class Network& net,
-                        const class SyntheticWorkload& workload) const;
+                        const class WorkloadModel& workload) const;
 
   std::vector<SimConfig> points_;
   std::string dir_;

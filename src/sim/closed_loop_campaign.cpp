@@ -1,0 +1,143 @@
+#include "sim/closed_loop_campaign.hpp"
+
+#include <fstream>
+#include <iterator>
+
+#include "snapshot/serialize.hpp"
+
+namespace dxbar {
+
+namespace {
+
+constexpr std::uint32_t kResultTag = section_tag("CLRS");
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void append_le32(std::vector<std::uint8_t>& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void append_le64(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t le32_at(const std::vector<std::uint8_t>& b, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(b[pos + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t le64_at(const std::vector<std::uint8_t>& b, std::size_t pos) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(b[pos + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+void save_result(SnapshotWriter& w, const ClosedLoopResult& r) {
+  w.u64(r.completion_cycles);
+  w.boolean(r.finished);
+  w.u64(r.packets);
+  w.f64(r.energy_nj);
+  w.f64(r.energy_per_packet_nj);
+  w.f64(r.avg_packet_latency);
+}
+
+ClosedLoopResult load_result(SnapshotReader& r) {
+  ClosedLoopResult out;
+  out.completion_cycles = r.u64();
+  out.finished = r.boolean();
+  out.packets = r.u64();
+  out.energy_nj = r.f64();
+  out.energy_per_packet_nj = r.f64();
+  out.avg_packet_latency = r.f64();
+  return out;
+}
+
+}  // namespace
+
+ClosedLoopCampaign::ClosedLoopCampaign(std::size_t points, std::string dir,
+                                       std::uint64_t fingerprint)
+    : dir_(std::move(dir)), fingerprint_(fingerprint), results_(points) {
+  load_results();
+}
+
+std::string ClosedLoopCampaign::results_path() const {
+  return dir_ + "/results.bin";
+}
+
+std::size_t ClosedLoopCampaign::completed() const {
+  std::size_t n = 0;
+  for (const auto& r : results_) {
+    if (r.has_value()) ++n;
+  }
+  return n;
+}
+
+void ClosedLoopCampaign::load_results() {
+  const std::vector<std::uint8_t> bytes = read_file(results_path());
+  // Same torn-tail policy as the open-loop Campaign: the first frame
+  // that fails any check ends the readable prefix.  Frames with a
+  // foreign fingerprint are structurally valid, so they are skipped
+  // (not treated as a torn tail) and their points re-run.
+  std::size_t pos = 0;
+  while (bytes.size() - pos >= 4 + 8) {
+    if (le32_at(bytes, pos) != kResultTag) break;
+    const std::uint64_t len = le64_at(bytes, pos + 4);
+    if (len > bytes.size() - pos - 12 || bytes.size() - pos - 12 - len < 8) {
+      break;
+    }
+    const std::uint8_t* payload = bytes.data() + pos + 12;
+    if (fnv1a(payload, len) != le64_at(bytes, pos + 12 + len)) break;
+    try {
+      SnapshotReader r(payload, len);
+      const std::uint64_t fp = r.u64();
+      const std::uint32_t point = r.u32();
+      const ClosedLoopResult result = load_result(r);
+      if (fp == fingerprint_ && point < results_.size()) {
+        results_[point] = result;
+      }
+    } catch (const SnapshotError&) {
+      break;
+    }
+    pos += 12 + len + 8;
+  }
+}
+
+void ClosedLoopCampaign::record(std::size_t point, const ClosedLoopResult& r) {
+  SnapshotWriter payload;
+  payload.u64(fingerprint_);
+  payload.u32(static_cast<std::uint32_t>(point));
+  save_result(payload, r);
+  const std::vector<std::uint8_t>& p = payload.data();
+
+  std::vector<std::uint8_t> frame;
+  frame.reserve(p.size() + 20);
+  append_le32(frame, kResultTag);
+  append_le64(frame, p.size());
+  frame.insert(frame.end(), p.begin(), p.end());
+  append_le64(frame, fnv1a(p.data(), p.size()));
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  results_[point] = r;
+  std::ofstream out(results_path(), std::ios::binary | std::ios::app);
+  out.write(reinterpret_cast<const char*>(frame.data()),
+            static_cast<std::streamsize>(frame.size()));
+  out.flush();
+}
+
+}  // namespace dxbar

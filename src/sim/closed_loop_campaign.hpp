@@ -1,0 +1,55 @@
+// Point-level resume for closed-loop (custom-run) experiments.
+//
+// The open-loop Campaign checkpoints mid-point because open-loop points
+// are long and individually expensive.  Closed-loop jobs (SPLASH runs,
+// trace replays) are short but numerous, so the useful resume grain is
+// the completed point: each finished ClosedLoopResult is appended to
+// `results.bin` as a self-checking frame (tag + length + payload +
+// FNV-1a), and a fresh campaign on the same directory skips every point
+// whose frame loads.  A torn tail from a crash mid-append is detected
+// and dropped, exactly like the open-loop results file.
+//
+// Every frame carries the caller's job-list fingerprint; frames from a
+// different job list are ignored (those points simply re-run), so a
+// directory can be reused across --quick and full runs without poisoned
+// results.  record() is thread-safe — jobs complete from a parallel_for.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/sim_runner.hpp"
+
+namespace dxbar {
+
+class ClosedLoopCampaign {
+ public:
+  /// Loads any prior results for this (directory, fingerprint) pair.
+  /// `points` is the job-list size; out-of-range frames are ignored.
+  ClosedLoopCampaign(std::size_t points, std::string dir,
+                     std::uint64_t fingerprint);
+
+  /// Per-point results; nullopt while a point is still pending.
+  [[nodiscard]] const std::vector<std::optional<ClosedLoopResult>>& results()
+      const {
+    return results_;
+  }
+
+  [[nodiscard]] std::size_t completed() const;
+
+  /// Persists one finished point (thread-safe; durable once returned).
+  void record(std::size_t point, const ClosedLoopResult& r);
+
+ private:
+  [[nodiscard]] std::string results_path() const;
+  void load_results();
+
+  std::string dir_;
+  std::uint64_t fingerprint_;
+  std::vector<std::optional<ClosedLoopResult>> results_;
+  std::mutex mu_;
+};
+
+}  // namespace dxbar

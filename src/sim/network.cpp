@@ -173,6 +173,11 @@ void Network::build() {
 
 PacketId Network::inject_packet(NodeId src, NodeId dst, int length,
                                 Cycle now) {
+  return inject_packet(src, dst, length, now, MsgClass::Request);
+}
+
+PacketId Network::inject_packet(NodeId src, NodeId dst, int length, Cycle now,
+                                MsgClass cls) {
   assert(src != dst && "self-addressed packets are not routed");
   const PacketId id = next_packet_++;
   for (int s = 0; s < length; ++s) {
@@ -182,6 +187,7 @@ PacketId Network::inject_packet(NodeId src, NodeId dst, int length,
     f.packet_len = static_cast<std::uint16_t>(length);
     f.src = src;
     f.dst = dst;
+    f.cls = static_cast<std::uint8_t>(cls);
     f.born_at = now;
     f.injected_at = kNotInjected;
     if (cfg_.design == RouterDesign::Scarab) {
@@ -236,6 +242,7 @@ void Network::handle_ejections() {
         a.rec.src = f.src;
         a.rec.dst = f.dst;
         a.rec.length = f.packet_len;
+        a.rec.cls = f.cls;
         a.rec.created = f.born_at;
         a.rec.injected = f.injected_at;
       }

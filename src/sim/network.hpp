@@ -105,6 +105,8 @@ class Network final : public Injector {
   // --- Injector -------------------------------------------------------
   PacketId inject_packet(NodeId src, NodeId dst, int length,
                          Cycle now) override;
+  PacketId inject_packet(NodeId src, NodeId dst, int length, Cycle now,
+                         MsgClass cls) override;
 
   // --- component access -------------------------------------------------
   [[nodiscard]] const Mesh& mesh() const noexcept { return mesh_; }

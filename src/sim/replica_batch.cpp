@@ -6,6 +6,7 @@
 
 #include "sim/sim_runner.hpp"
 #include "snapshot/serialize.hpp"
+#include "workload/factory.hpp"
 
 namespace dxbar {
 namespace {
@@ -24,15 +25,15 @@ struct ReplicaBatch::Lane {
 
   SimConfig cfg;
   Network net;
-  SyntheticWorkload workload;
+  std::unique_ptr<WorkloadModel> workload;
   Phase phase = Phase::Measure;
   Cycle drain_taken = 0;
   RunStats stats;
   std::vector<PacketRecord> packets;
 
   explicit Lane(const SimConfig& c)
-      : cfg(c), net(cfg), workload(cfg, net.mesh()) {
-    net.set_workload(&workload);
+      : cfg(c), net(cfg), workload(make_workload(cfg, net.mesh())) {
+    net.set_workload(workload.get());
     derive_energy_gate();
   }
 
@@ -61,7 +62,7 @@ struct ReplicaBatch::Lane {
     if (phase == Phase::Measure) {
       if (net.now() >= measure_end()) {
         net.energy().set_enabled(false);
-        workload.set_injection_enabled(false);
+        workload->set_injection_enabled(false);
         phase = Phase::Drain;
         drain_taken = 0;
       } else {
@@ -70,7 +71,7 @@ struct ReplicaBatch::Lane {
       }
     }
     if (phase == Phase::Drain) {
-      if (net.idle()) {
+      if (net.idle() && workload->quiescent()) {
         finish(true);
         return false;
       }
@@ -91,6 +92,7 @@ struct ReplicaBatch::Lane {
     stats.energy_crossbar_nj = net.energy().crossbar_nj();
     stats.energy_link_nj = net.energy().link_nj();
     stats.energy_control_nj = net.energy().control_nj();
+    workload->fill_run_stats(stats);
     packets = net.stats().window_packets();
     phase = Phase::Done;
   }
@@ -132,7 +134,7 @@ void ReplicaBatch::warm_start(const std::vector<std::uint8_t>& warm_state) {
     SnapshotReader r(warm_state);
     lane->net.load(r);
     (void)r.expect_section(kSecWorkload);
-    lane->workload.load_state(r);
+    lane->workload->load_state(r);
     lane->derive_energy_gate();
   }
 }
@@ -269,13 +271,13 @@ std::vector<RunStats> run_replica_sweep(const std::vector<SimConfig>& configs,
         }
         const SimConfig& cfg = configs[grp.members.front()];
         Network net(cfg);
-        SyntheticWorkload workload(cfg, net.mesh());
-        net.set_workload(&workload);
+        const auto workload = make_workload(cfg, net.mesh());
+        net.set_workload(workload.get());
         advance_open_loop(net, cfg.warmup_cycles);
         SnapshotWriter w;
         net.save(w);
         w.begin_section(kSecWorkload);
-        workload.save_state(w);
+        workload->save_state(w);
         w.end_section();
         if (cache != nullptr) {
           grp.warm_state = cache->insert(grp.key, w.take());

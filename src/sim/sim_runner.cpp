@@ -1,5 +1,7 @@
 #include "sim/sim_runner.hpp"
 
+#include "workload/factory.hpp"
+
 namespace dxbar {
 
 void advance_open_loop(Network& net, Cycle until) {
@@ -27,13 +29,13 @@ RunStats finish_open_loop(Network& net, WorkloadModel& workload,
 
   bool drained = false;
   for (Cycle t = 0; t < cfg.drain_cycles; ++t) {
-    if (net.idle()) {
+    if (net.idle() && workload.quiescent()) {
       drained = true;
       break;
     }
     net.step();
   }
-  drained = drained || net.idle();
+  drained = drained || (net.idle() && workload.quiescent());
 
   RunStats out = net.stats().summarize(cfg.offered_load, drained);
   out.packet_length = cfg.packet_length;
@@ -41,6 +43,7 @@ RunStats finish_open_loop(Network& net, WorkloadModel& workload,
   out.energy_crossbar_nj = net.energy().crossbar_nj();
   out.energy_link_nj = net.energy().link_nj();
   out.energy_control_nj = net.energy().control_nj();
+  workload.fill_run_stats(out);
   if (packets_out != nullptr) *packets_out = net.stats().window_packets();
   return out;
 }
@@ -63,15 +66,15 @@ RunStats run_open_loop(const SimConfig& cfg, WorkloadModel& workload) {
 
 RunStats run_open_loop(const SimConfig& cfg) {
   const Mesh mesh(cfg.mesh_width, cfg.mesh_height, cfg.torus);
-  SyntheticWorkload workload(cfg, mesh);
-  return run_open_loop(cfg, workload);
+  const auto workload = make_workload(cfg, mesh);
+  return run_open_loop(cfg, *workload);
 }
 
 DetailedRun run_open_loop_detailed(const SimConfig& cfg) {
   const Mesh mesh(cfg.mesh_width, cfg.mesh_height, cfg.torus);
-  SyntheticWorkload workload(cfg, mesh);
+  const auto workload = make_workload(cfg, mesh);
   DetailedRun out;
-  out.stats = open_loop_impl(cfg, workload, &out.packets);
+  out.stats = open_loop_impl(cfg, *workload, &out.packets);
   return out;
 }
 

@@ -25,6 +25,13 @@ void save_run_stats(SnapshotWriter& w, const RunStats& s) {
   w.f64(s.energy_crossbar_nj);
   w.f64(s.energy_link_nj);
   w.f64(s.energy_control_nj);
+  // Closed-loop request-reply block, added in snapshot version 4.
+  w.f64(s.avg_req_latency);
+  w.f64(s.req_latency_p50);
+  w.f64(s.req_latency_p95);
+  w.f64(s.req_latency_p99);
+  w.f64(s.req_latency_max);
+  w.u64(s.requests_completed);
 }
 
 RunStats load_run_stats(SnapshotReader& r) {
@@ -51,6 +58,14 @@ RunStats load_run_stats(SnapshotReader& r) {
   s.energy_crossbar_nj = r.f64();
   s.energy_link_nj = r.f64();
   s.energy_control_nj = r.f64();
+  if (r.version() >= 4) {
+    s.avg_req_latency = r.f64();
+    s.req_latency_p50 = r.f64();
+    s.req_latency_p95 = r.f64();
+    s.req_latency_p99 = r.f64();
+    s.req_latency_max = r.f64();
+    s.requests_completed = r.u64();
+  }
   return s;
 }
 
@@ -80,6 +95,12 @@ void save_config(SnapshotWriter& w, const SimConfig& cfg) {
   w.f64(cfg.link_fault_fraction);
   w.u64(cfg.seed);
   w.u64(cfg.measure_seed);  // added in snapshot version 3
+  // Closed-loop workload knobs, added in snapshot version 4.
+  w.u8(static_cast<std::uint8_t>(cfg.workload));
+  w.i32(cfg.mlp);
+  w.u64(cfg.service_delay);
+  w.i32(cfg.request_length);
+  w.f64(cfg.hotspot_fraction);
 }
 
 SimConfig load_config(SnapshotReader& r) {
@@ -111,6 +132,15 @@ SimConfig load_config(SnapshotReader& r) {
   // Version 2 streams (pre-measure_seed) end here; the field defaults
   // to 0, which is the exact pre-v3 behaviour.
   if (r.version() >= 3) cfg.measure_seed = r.u64();
+  // Pre-v4 streams default to the synthetic workload, which is exactly
+  // the pre-v4 behaviour.
+  if (r.version() >= 4) {
+    cfg.workload = static_cast<WorkloadKind>(r.u8());
+    cfg.mlp = r.i32();
+    cfg.service_delay = r.u64();
+    cfg.request_length = r.i32();
+    cfg.hotspot_fraction = r.f64();
+  }
   return cfg;
 }
 
@@ -135,6 +165,10 @@ std::uint64_t structural_fingerprint(const SimConfig& cfg) {
   w.u64(cfg.fault_onset_spread);
   w.f64(cfg.link_fault_fraction);
   w.u64(cfg.seed);
+  // The workload kind gates the VC router's class partition (switching
+  // behaviour), so it is structural; the remaining closed-loop knobs
+  // (mlp, service_delay, ...) live entirely in the workload model.
+  w.u8(static_cast<std::uint8_t>(cfg.workload));
   return fnv1a(w.data().data(), w.data().size());
 }
 

@@ -27,6 +27,7 @@ inline void save_flit(SnapshotWriter& w, const Flit& f) {
   w.u64(f.injected_at);
   w.u64(f.born_at);
   w.u8(f.vc);
+  w.u8(f.cls);  // added in snapshot version 4
   w.u8(f.deflections);
   w.u8(f.retransmits);
   w.u16(f.hops);
@@ -42,6 +43,7 @@ inline Flit load_flit(SnapshotReader& r) {
   f.injected_at = r.u64();
   f.born_at = r.u64();
   f.vc = r.u8();
+  if (r.version() >= 4) f.cls = r.u8();
   f.deflections = r.u8();
   f.retransmits = r.u8();
   f.hops = r.u16();
@@ -66,6 +68,7 @@ inline void save_packet_record(SnapshotWriter& w, const PacketRecord& p) {
   w.u32(p.src);
   w.u32(p.dst);
   w.u16(p.length);
+  w.u8(p.cls);  // added in snapshot version 4
   w.u64(p.created);
   w.u64(p.injected);
   w.u64(p.completed);
@@ -80,6 +83,7 @@ inline PacketRecord load_packet_record(SnapshotReader& r) {
   p.src = r.u32();
   p.dst = r.u32();
   p.length = r.u16();
+  if (r.version() >= 4) p.cls = r.u8();
   p.created = r.u64();
   p.injected = r.u64();
   p.completed = r.u64();

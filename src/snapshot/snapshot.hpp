@@ -41,10 +41,16 @@
 namespace dxbar {
 
 inline constexpr std::uint32_t kSnapshotMagic = 0x4E535844;  // "DXSN"
-inline constexpr std::uint16_t kSnapshotVersion = 3;  // 2: EnergyMeter
+inline constexpr std::uint16_t kSnapshotVersion = 4;  // 2: EnergyMeter
                                                       // stores event counts
                                                       // 3: SimConfig grows
                                                       // measure_seed
+                                                      // 4: Flit/PacketRecord
+                                                      // grow cls; SimConfig
+                                                      // grows the closed-loop
+                                                      // workload knobs;
+                                                      // RunStats grows the
+                                                      // request-latency block
 inline constexpr std::uint16_t kSnapshotEndianMark = 0xFEFF;
 
 /// Builds a four-character section tag, e.g. section_tag("CHAN").

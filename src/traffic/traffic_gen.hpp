@@ -9,6 +9,7 @@
 #include "common/config.hpp"
 #include "common/flit.hpp"
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "snapshot/snapshot.hpp"
 #include "topology/mesh.hpp"
 #include "traffic/patterns.hpp"
@@ -22,6 +23,16 @@ class Injector {
   virtual ~Injector() = default;
   virtual PacketId inject_packet(NodeId src, NodeId dst, int length,
                                  Cycle now) = 0;
+
+  /// Class-tagged injection for request-reply workloads.  The default
+  /// forwards to the classic overload (dropping the class), so injector
+  /// implementations that predate message classes keep working; the
+  /// Network overrides this to stamp the class on every flit.
+  virtual PacketId inject_packet(NodeId src, NodeId dst, int length,
+                                 Cycle now, MsgClass cls) {
+    (void)cls;
+    return inject_packet(src, dst, length, now);
+  }
 };
 
 class WorkloadModel {
@@ -45,6 +56,18 @@ class WorkloadModel {
   /// Open-loop drain control: the runner disables injection after the
   /// measurement window.
   virtual void set_injection_enabled(bool on) { (void)on; }
+
+  /// Merges workload-level telemetry (e.g. the closed-loop end-to-end
+  /// request-latency distribution) into a finished run's stats.  The
+  /// default contributes nothing.
+  virtual void fill_run_stats(RunStats& out) const { (void)out; }
+
+  /// True when the workload holds no deferred work of its own (e.g.
+  /// served requests waiting out their service delay before the reply
+  /// injects).  The drain loop runs until the network is idle AND the
+  /// workload is quiescent, so workload-held transactions still
+  /// complete after injection is disabled.
+  [[nodiscard]] virtual bool quiescent() const { return true; }
 
   // ---- snapshot protocol ----------------------------------------------
   //

@@ -1,0 +1,18 @@
+#include "workload/factory.hpp"
+
+#include "workload/closed_loop.hpp"
+
+namespace dxbar {
+
+std::unique_ptr<WorkloadModel> make_workload(const SimConfig& cfg,
+                                             const Mesh& mesh) {
+  switch (cfg.workload) {
+    case WorkloadKind::ClosedLoop:
+      return std::make_unique<ClosedLoopWorkload>(cfg, mesh);
+    case WorkloadKind::Synthetic:
+      break;
+  }
+  return std::make_unique<SyntheticWorkload>(cfg, mesh);
+}
+
+}  // namespace dxbar

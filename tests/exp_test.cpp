@@ -39,6 +39,9 @@ const std::vector<std::string> kExpectedExperiments = {
     "ablation_stall_escape",
     "ablation_topology",
     "ablation_unified_vs_dual",
+    "closedloop_fault_tail",
+    "closedloop_hotspot",
+    "closedloop_saturation",
     "fig5",
     "fig6",
     "fig7",
