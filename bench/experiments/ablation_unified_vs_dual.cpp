@@ -43,7 +43,7 @@ const Registration reg(Experiment{
           return cfgs;
         },
     .reduce =
-        [](const RunContext&, const std::vector<RunStats>& stats) {
+        [](const RunContext& ctx, const std::vector<RunStats>& stats) {
           const std::vector<double> loads = figure_loads();
           std::vector<std::string> x;
           for (double l : loads) x.push_back(fmt(l, "%.1f"));
@@ -72,13 +72,17 @@ const Registration reg(Experiment{
           r.add_table({"Ablation: energy per packet (nJ)", "offered", x,
                        labels, energy, "%10.3f"});
 
+          const auto area_of = [&](RouterDesign d) {
+            SimConfig c = ctx.base;
+            c.design = d;
+            return router_area_mm2(d, derive_area_params(c));
+          };
+          const double dual = area_of(RouterDesign::DXbar);
+          const double unified = area_of(RouterDesign::UnifiedXbar);
           r.addf(
               "\nArea: DXbar %.4f mm^2, Unified %.4f mm^2 (%.1f%% "
               "saved)\n",
-              router_area_mm2(RouterDesign::DXbar),
-              router_area_mm2(RouterDesign::UnifiedXbar),
-              100.0 * (1.0 - router_area_mm2(RouterDesign::UnifiedXbar) /
-                                 router_area_mm2(RouterDesign::DXbar)));
+              dual, unified, 100.0 * (1.0 - unified / dual));
           return r;
         },
 });

@@ -107,6 +107,7 @@ int main(int argc, char** argv) {
     base.measure_cycles = 200;
   }
   const unsigned host_threads = std::thread::hardware_concurrency();
+  const bool underprovisioned = host_threads < static_cast<unsigned>(lanes);
   const std::vector<SimConfig> configs = replica_grid(base, lanes);
 
   std::printf("perf_batch: %dx%d %s %s load=%.2f warmup=%llu window=%llu "
@@ -117,6 +118,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(base.warmup_cycles),
               static_cast<unsigned long long>(base.measure_cycles), lanes,
               reps, host_threads);
+  if (underprovisioned) {
+    std::printf("WARNING: host has %u hardware threads but %d lanes were "
+                "requested;\nboth paths here are single-threaded, but "
+                "--seeds %d sessions on this host\nwill oversubscribe "
+                "their worker pool\n",
+                host_threads, lanes, lanes);
+  }
 
   // Serial baseline: K independent full runs, single-threaded.
   double serial_secs = 0.0;
@@ -197,6 +205,7 @@ int main(int argc, char** argv) {
                   "{\n"
                   "  \"bench\": \"perf_batch\",\n"
                   "  \"host_threads\": %u,\n"
+                  "  \"underprovisioned\": %s,\n"
                   "  \"config\": {\n"
                   "    \"mesh\": \"%dx%d\",\n"
                   "    \"design\": \"%s\",\n"
@@ -217,7 +226,8 @@ int main(int argc, char** argv) {
                   "  },\n"
                   "  \"bit_identical\": %s\n"
                   "}\n",
-                  host_threads, base.mesh_width, base.mesh_height,
+                  host_threads, underprovisioned ? "true" : "false",
+                  base.mesh_width, base.mesh_height,
                   std::string(to_string(base.design)).c_str(),
                   std::string(to_string(base.routing)).c_str(),
                   std::string(to_string(base.pattern)).c_str(),

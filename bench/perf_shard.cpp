@@ -116,6 +116,10 @@ int main(int argc, char** argv) {
   const Cycle warmup = quick ? 100 : 200;
   const Cycle window = quick ? 300 : 1000;
   const unsigned host_threads = std::thread::hardware_concurrency();
+  constexpr int kShardAxis[] = {1, 2, 4, 8};
+  constexpr int kMaxShards = 8;
+  const bool underprovisioned =
+      host_threads < static_cast<unsigned>(kMaxShards);
 
   std::printf("perf_shard: %dx%d %s %s load=%.2f window=%llu reps=%d "
               "host_threads=%u\n",
@@ -124,11 +128,17 @@ int main(int argc, char** argv) {
               std::string(to_string(base.pattern)).c_str(),
               base.offered_load, static_cast<unsigned long long>(window),
               reps, host_threads);
+  if (underprovisioned) {
+    std::printf("WARNING: host has %u hardware threads but the bench runs "
+                "up to %d shards;\nspeedup numbers above %u shards measure "
+                "oversubscription, not scaling\n",
+                host_threads, kMaxShards, host_threads);
+  }
   std::printf("%-8s %14s %12s %10s\n", "shards", "cycles/sec", "window s",
               "speedup");
 
   std::vector<ShardPoint> points;
-  for (int shards : {1, 2, 4, 8}) {
+  for (int shards : kShardAxis) {
     SimConfig cfg = base;
     cfg.shards = shards;
     ShardPoint p;
@@ -181,6 +191,7 @@ int main(int argc, char** argv) {
                   "{\n"
                   "  \"bench\": \"perf_shard\",\n"
                   "  \"host_threads\": %u,\n"
+                  "  \"underprovisioned\": %s,\n"
                   "  \"config\": {\n"
                   "    \"mesh\": \"%dx%d\",\n"
                   "    \"design\": \"%s\",\n"
@@ -194,7 +205,8 @@ int main(int argc, char** argv) {
                   "    \"seed\": %llu\n"
                   "  },\n"
                   "  \"results\": [\n",
-                  host_threads, base.mesh_width, base.mesh_height,
+                  host_threads, underprovisioned ? "true" : "false",
+                  base.mesh_width, base.mesh_height,
                   std::string(to_string(base.design)).c_str(),
                   std::string(to_string(base.routing)).c_str(),
                   std::string(to_string(base.pattern)).c_str(),

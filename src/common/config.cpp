@@ -121,6 +121,9 @@ std::string SimConfig::validate() const {
   }
   if (packet_length < 1) return "packet_length must be >= 1";
   if (flit_bits < 1) return "flit_bits must be >= 1";
+  if (tech_node != 65 && tech_node != 32 && tech_node != 16) {
+    return "tech_node must be one of 65, 32, 16 (nm)";
+  }
   if (mlp < 1) return "mlp must be >= 1";
   if (request_length < 1) return "request_length must be >= 1";
   if (hotspot_fraction < 0.0 || hotspot_fraction > 1.0) {
@@ -174,6 +177,7 @@ std::string SimConfig::describe() const {
       "hotspot %.2f)\n"
       "offered_load      %.3f\n"
       "packet_length     %d flits (%d bits each)\n"
+      "tech_node         %d nm\n"
       "buffer_depth      %d\n"
       "num_vcs           %d\n"
       "fairness          %d\n"
@@ -191,7 +195,7 @@ std::string SimConfig::describe() const {
       std::string(to_string(workload)).c_str(), mlp,
       static_cast<unsigned long long>(service_delay), request_length,
       hotspot_fraction, offered_load, packet_length,
-      flit_bits, buffer_depth, num_vcs, fairness_threshold,
+      flit_bits, tech_node, buffer_depth, num_vcs, fairness_threshold,
       stall_escape_delay, static_cast<unsigned long long>(warmup_cycles),
       static_cast<unsigned long long>(measure_cycles),
       static_cast<unsigned long long>(drain_cycles), fault_fraction,
@@ -277,6 +281,12 @@ std::string apply_override(SimConfig& cfg, std::string_view arg) {
   } else if (key == "packet_length") {
     if (!parse_int(val, i)) return bad();
     cfg.packet_length = static_cast<int>(i);
+  } else if (key == "flit_bits") {
+    if (!parse_int(val, i)) return bad();
+    cfg.flit_bits = static_cast<int>(i);
+  } else if (key == "tech") {
+    if (!parse_int(val, i)) return bad();
+    cfg.tech_node = static_cast<int>(i);
   } else if (key == "warmup") {
     if (!parse_int(val, i)) return bad();
     cfg.warmup_cycles = static_cast<Cycle>(i);

@@ -60,6 +60,13 @@ struct SimConfig {
   /// Flit width in bits (paper: 128).
   int flit_bits = 128;
 
+  // --- technology -------------------------------------------------------
+  /// Process node in nm for the parametric energy/area model (65, 32 or
+  /// 16; the paper's Table III point is 65).  Structural for snapshot
+  /// identity: the derived per-event energies are part of what a result
+  /// means, even though the cycle-level dynamics are node-independent.
+  int tech_node = 65;
+
   // --- closed-loop workload (workload=closedloop; DESIGN.md section 12) --
   /// Which workload model drives injection.  Synthetic (default) keeps
   /// the paper's open-loop Bernoulli traffic; ClosedLoop switches to the

@@ -413,6 +413,9 @@ void json_config(JsonWriter& w, const SimConfig& cfg) {
   w.key("warmup_load").value(cfg.warmup_load);
   w.key("packet_length").value(cfg.packet_length);
   w.key("flit_bits").value(cfg.flit_bits);
+  // Written only off the paper's 65 nm default so existing result
+  // corpora (including the golden fixture) stay byte-identical.
+  if (cfg.tech_node != 65) w.key("tech").value(cfg.tech_node);
   w.key("warmup").value(static_cast<std::uint64_t>(cfg.warmup_cycles));
   w.key("measure").value(static_cast<std::uint64_t>(cfg.measure_cycles));
   w.key("drain").value(static_cast<std::uint64_t>(cfg.drain_cycles));

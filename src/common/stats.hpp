@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/flit.hpp"
+#include "common/latency_histogram.hpp"
 #include "common/types.hpp"
 #include "snapshot/snapshot.hpp"
 
@@ -55,6 +56,12 @@ struct RunStats {
   double req_latency_p99 = 0.0;
   double req_latency_max = 0.0;
   std::uint64_t requests_completed = 0;
+  /// The full request-latency distribution behind the quantile summary
+  /// above (empty for open-loop runs).  Mergeable by construction, so
+  /// `--seeds N` replication can pool replicas and report quantiles of
+  /// the pooled distribution instead of averaging per-replica
+  /// quantiles.
+  LatencyHistogram req_hist;
 
   [[nodiscard]] double total_energy_nj() const noexcept {
     return energy_buffer_nj + energy_crossbar_nj + energy_link_nj +

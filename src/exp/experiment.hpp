@@ -101,6 +101,20 @@ struct Experiment {
                                  const std::vector<RunStats>&)>
       reduce;
 
+  /// Optional replica combiner for grid experiments under --seeds N.
+  /// Receives the rep-major stats (replica r's slice is element
+  /// [r*grid_size, (r+1)*grid_size)) and the replica count, and owns
+  /// the whole merged result.  When unset, the runner reduces each
+  /// replica independently and folds the tables cell-wise into means
+  /// with appended ±ci95 columns (exp/runner.hpp's
+  /// combine_replica_results) — which is right for means but cannot
+  /// pool order statistics such as p99 across replicas.  A combiner
+  /// typically delegates to combine_replica_results for the mean/ci
+  /// machinery and then overwrites the cells that need pooled data.
+  std::function<ExperimentResult(const RunContext&,
+                                 const std::vector<RunStats>&, int)>
+      combine;
+
   /// Custom execution for non-grid experiments (used when grid == null).
   std::function<ExperimentResult(const RunContext&)> run;
 

@@ -106,7 +106,11 @@ std::string make_base_config(const BenchArgs& args, SimConfig& out) {
   for (const std::string& o : args.overrides) {
     if (const auto err = apply_override(out, o); !err.empty()) return err;
   }
-  return {};
+  // Validate here, once, so every experiment — including custom `run`
+  // ones that never construct a Network — rejects a bad base config
+  // (e.g. tech=99) with a clean error instead of deriving from a
+  // silently-defaulted value.
+  return out.validate();
 }
 
 namespace {
@@ -481,6 +485,8 @@ bool replica_results_compatible(const std::vector<ExperimentResult>& reps) {
   return true;
 }
 
+}  // namespace
+
 /// Folds N per-replica reductions into one result: every table cell
 /// becomes the across-replica mean and each table gains one appended
 /// "<series> ±ci95" column per original series (95% confidence
@@ -542,8 +548,6 @@ ExperimentResult combine_replica_results(const std::string& exp_name,
   return out;
 }
 
-}  // namespace
-
 ExperimentResult execute(const Experiment& exp, const RunOptions& opt) {
   RunContext ctx;
   ctx.base = opt.base;
@@ -579,7 +583,11 @@ ExperimentResult execute(const Experiment& exp, const RunOptions& opt) {
       }
     }
     const std::vector<RunStats> stats = ctx.sweep(configs);
-    if (seeds > 1) {
+    if (seeds > 1 && exp.combine) {
+      // The experiment owns replica folding (e.g. pooling latency
+      // histograms across replicas before taking order statistics).
+      result = exp.combine(ctx, stats, seeds);
+    } else if (seeds > 1) {
       const std::size_t pts = base_grid.size();
       std::vector<ExperimentResult> reps;
       reps.reserve(static_cast<std::size_t>(seeds));

@@ -83,6 +83,16 @@ struct RunOptions {
 /// custom experiments call their `run`.
 ExperimentResult execute(const Experiment& exp, const RunOptions& opt);
 
+/// Folds N per-replica reductions into one result: every table cell
+/// becomes the across-replica mean and each table gains one appended
+/// "<series> ±ci95" column per original series (95% confidence
+/// halfwidths); a note block is prepended.  The runner applies this to
+/// every grid experiment under --seeds N that has no custom
+/// `Experiment::combine`; custom combiners call it for the mean/ci
+/// machinery before patching in pooled statistics.
+ExperimentResult combine_replica_results(const std::string& exp_name,
+                                         std::vector<ExperimentResult> reps);
+
 /// Resolves a session's experiment selection: positional names (each
 /// must exist), plus every registered experiment when `all` is set,
 /// plus every registered name matching the `filter` glob.  A filter

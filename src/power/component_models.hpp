@@ -1,0 +1,171 @@
+// Orion-style per-component energy/area models (after graphite-atac's
+// Crossbar.h, SNIPPETS.md snippet 1): each component derives its
+// per-event switched capacitance and silicon footprint from structural
+// parameters (radix, data width, segment count, buffer depth) plus a
+// TechParams bundle, instead of reading Table III constants.
+//
+// Conventions: energies are pJ per event (one flit traversal / one
+// FIFO access / one 1-bit NACK hop), areas are mm^2, and the per-bit
+// energy is activity * 1/2 * C * Vdd^2 with C in fF (fF * V^2 = fJ,
+// hence the 1e-3 to pJ).
+#pragma once
+
+#include "power/tech_params.hpp"
+
+namespace dxbar {
+
+/// pJ switched by `bits` wires each toggling capacitance `cap_ff`.
+[[nodiscard]] inline double switch_pj(int bits, double cap_ff,
+                                      const TechParams& t) {
+  return static_cast<double>(bits) * t.activity * 0.5 * cap_ff * t.vdd *
+         t.vdd * 1e-3;
+}
+
+/// Matrix crossbar: num_in horizontal input buses crossing num_out
+/// vertical output buses, bits wires each, a tri-state connector at
+/// every crosspoint.  One traversal charges one full input wire (plus
+/// the connector drains hanging off it) and one full output wire (plus
+/// its connectors and the output driver).
+class MatrixCrossbarModel {
+ public:
+  MatrixCrossbarModel(int num_in, int num_out, int bits,
+                      const TechParams& t) noexcept
+      : num_in_(num_in), num_out_(num_out), bits_(bits), t_(t) {}
+
+  /// Length of one input (resp. output) wire: it spans every output
+  /// (resp. input) bus at bits tracks of xbar_pitch each.
+  [[nodiscard]] double in_wire_mm() const noexcept {
+    return static_cast<double>(num_out_) * bits_ * t_.xbar_pitch_um * 1e-3;
+  }
+  [[nodiscard]] double out_wire_mm() const noexcept {
+    return static_cast<double>(num_in_) * bits_ * t_.xbar_pitch_um * 1e-3;
+  }
+
+  /// Capacitance one bit switches per traversal (fF).
+  [[nodiscard]] double traversal_cap_ff() const noexcept {
+    const double c_in = in_wire_mm() * t_.xbar_wire_cap_ff_mm +
+                        static_cast<double>(num_out_) * t_.connector_cap_ff;
+    const double c_out = out_wire_mm() * t_.xbar_wire_cap_ff_mm +
+                         static_cast<double>(num_in_) * t_.connector_cap_ff +
+                         t_.driver_cap_ff;
+    return c_in + c_out;
+  }
+
+  [[nodiscard]] double traversal_pj() const noexcept {
+    return switch_pj(bits_, traversal_cap_ff(), t_);
+  }
+
+  /// Wiring-dominated footprint: the input-wire span times the
+  /// output-wire span.
+  [[nodiscard]] double area_mm2() const noexcept {
+    return in_wire_mm() * out_wire_mm();
+  }
+
+ protected:
+  int num_in_;
+  int num_out_;
+  int bits_;
+  TechParams t_;
+};
+
+/// Segmented (transmission-gate) crossbar — the unified design: a
+/// matrix crossbar whose output buses are cut into `segments` pieces by
+/// transmission gates so the FIFO bank can tap the bus.  Each traversal
+/// additionally charges two diffusion caps per segment; each gate adds
+/// its own silicon on every output bit.
+class SegmentedCrossbarModel : public MatrixCrossbarModel {
+ public:
+  SegmentedCrossbarModel(int num_in, int num_out, int bits, int segments,
+                         const TechParams& t) noexcept
+      : MatrixCrossbarModel(num_in, num_out, bits, t), segments_(segments) {}
+
+  [[nodiscard]] double traversal_pj() const noexcept {
+    const double gate_cap =
+        2.0 * static_cast<double>(segments_) * t_.tgate_cap_ff;
+    return MatrixCrossbarModel::traversal_pj() +
+           switch_pj(bits_, gate_cap, t_);
+  }
+
+  [[nodiscard]] double area_mm2() const noexcept {
+    return MatrixCrossbarModel::area_mm2() +
+           static_cast<double>(segments_) * bits_ * t_.tgate_area_um2 * 1e-6;
+  }
+
+ private:
+  int segments_;
+};
+
+/// Bank of `num_fifos` input FIFOs, `depth` entries of `bits` each.
+/// Access energy is cell plus bitline: the bitline capacitance grows
+/// with depth, which is what makes deeper buffers (Buffered 8) pay more
+/// per access.
+class FifoBufferModel {
+ public:
+  FifoBufferModel(int num_fifos, int depth, int bits,
+                  const TechParams& t) noexcept
+      : num_fifos_(num_fifos), depth_(depth), bits_(bits), t_(t) {}
+
+  [[nodiscard]] double write_pj() const noexcept {
+    return switch_pj(bits_,
+                     t_.cell_write_cap_ff +
+                         static_cast<double>(depth_) * t_.bitline_write_cap_ff,
+                     t_);
+  }
+  [[nodiscard]] double read_pj() const noexcept {
+    return switch_pj(bits_,
+                     t_.cell_read_cap_ff +
+                         static_cast<double>(depth_) * t_.bitline_read_cap_ff,
+                     t_);
+  }
+  [[nodiscard]] double area_mm2() const noexcept {
+    return static_cast<double>(num_fifos_) * depth_ * bits_ *
+           t_.cell_area_um2 * 1e-6;
+  }
+
+ private:
+  int num_fifos_;
+  int depth_;
+  int bits_;
+  TechParams t_;
+};
+
+/// One inter-router link: `bits` repeatered wires of one tile pitch.
+class LinkModel {
+ public:
+  LinkModel(int bits, const TechParams& t) noexcept : bits_(bits), t_(t) {}
+
+  [[nodiscard]] double traversal_pj() const noexcept {
+    return switch_pj(bits_, t_.link_length_mm * t_.link_wire_cap_ff_mm, t_);
+  }
+  /// Area of one link (wire tracks + repeaters).
+  [[nodiscard]] double area_mm2() const noexcept {
+    return static_cast<double>(bits_) * t_.link_length_mm *
+           t_.link_area_um2_per_bit_mm * 1e-6;
+  }
+
+ private:
+  int bits_;
+  TechParams t_;
+};
+
+/// SCARAB's dedicated NACK network: a 1-bit circuit-switched wire per
+/// hop plus the switch-control logic it drags along.
+class NackLinkModel {
+ public:
+  explicit NackLinkModel(const TechParams& t) noexcept : t_(t) {}
+
+  [[nodiscard]] double hop_pj() const noexcept {
+    return switch_pj(1,
+                     t_.link_length_mm * t_.link_wire_cap_ff_mm +
+                         t_.nack_ctrl_cap_ff,
+                     t_);
+  }
+  [[nodiscard]] double area_mm2() const noexcept {
+    return t_.nack_logic_area_um2 * 1e-6;
+  }
+
+ private:
+  TechParams t_;
+};
+
+}  // namespace dxbar

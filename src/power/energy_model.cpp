@@ -1,23 +1,61 @@
 #include "power/energy_model.hpp"
 
+#include "power/component_models.hpp"
+
 namespace dxbar {
 
-EnergyParams energy_params(RouterDesign design) {
+int crossbar_radix(const SimConfig& cfg) noexcept {
+  // Mesh and torus routers alike: four link directions plus the local
+  // port.  (Torus wrap links replace edge absences, they do not add
+  // ports.)
+  (void)cfg;
+  return kNumPorts;
+}
+
+EnergyParams derive_energy_params(const SimConfig& cfg) {
+  const TechParams t = TechParams::node(cfg.tech_node);
+  const int radix = crossbar_radix(cfg);
+  const int bits = cfg.flit_bits;
+
   EnergyParams p;
-  switch (design) {
-    case RouterDesign::UnifiedXbar:
-      // Transmission gates on every output segment (paper: 15 pJ/flit).
-      p.crossbar_pj = 15.0;
-      break;
-    case RouterDesign::Buffered8:
-      // Two 4-flit FIFOs per input: longer bitlines, higher access energy.
-      p.buffer_write_pj *= 1.25;
-      p.buffer_read_pj *= 1.25;
-      break;
-    default:
-      break;
+  if (cfg.design == RouterDesign::UnifiedXbar) {
+    // Transmission gates cut every output bus once per port segment so
+    // the unified FIFO bank can tap it (paper: 15 pJ vs 13 pJ/flit).
+    p.crossbar_pj =
+        SegmentedCrossbarModel(radix, radix, bits, radix, t).traversal_pj();
+  } else {
+    p.crossbar_pj = MatrixCrossbarModel(radix, radix, bits, t).traversal_pj();
   }
+  p.link_pj = LinkModel(bits, t).traversal_pj();
+
+  // Buffered 8 keeps two buffer_depth-deep FIFOs per input behind one
+  // access port: the shared bitline spans both, so accesses pay the
+  // doubled-depth bitline capacitance.
+  const int access_depth = cfg.design == RouterDesign::Buffered8
+                               ? 2 * cfg.buffer_depth
+                               : cfg.buffer_depth;
+  const FifoBufferModel fifo(kNumLinkDirs, access_depth, bits, t);
+  p.buffer_write_pj = fifo.write_pj();
+  p.buffer_read_pj = fifo.read_pj();
+  p.nack_hop_pj = NackLinkModel(t).hop_pj();
   return p;
+}
+
+AreaParams derive_area_params(const SimConfig& cfg) {
+  const TechParams t = TechParams::node(cfg.tech_node);
+  const int radix = crossbar_radix(cfg);
+  const int bits = cfg.flit_bits;
+
+  AreaParams a;
+  a.crossbar_mm2 = MatrixCrossbarModel(radix, radix, bits, t).area_mm2();
+  a.unified_crossbar_mm2 =
+      SegmentedCrossbarModel(radix, radix, bits, radix, t).area_mm2();
+  a.buffer_bank_mm2 =
+      FifoBufferModel(kNumLinkDirs, cfg.buffer_depth, bits, t).area_mm2();
+  a.links_mm2 = static_cast<double>(kNumLinkDirs) *
+                LinkModel(bits, t).area_mm2();
+  a.nack_logic_mm2 = NackLinkModel(t).area_mm2();
+  return a;
 }
 
 double router_area_mm2(RouterDesign design, const AreaParams& p) {

@@ -1,47 +1,62 @@
-// Energy and area model (paper Table III: TSMC 65 nm, 1.0 V, 1 GHz,
-// 128-bit flits).
+// Energy and area accounting on top of the parametric component models
+// (power/component_models.hpp).
 //
-// The paper reports crossbar energy of 13 pJ/flit (15 pJ/flit for the
-// unified crossbar's transmission gates) and link energy of 36 pJ per
-// 128-bit flit traversal.  The buffer access energies and the absolute
-// area figures are garbled in the available paper text; the constants
-// below are literature-consistent 65 nm values reconstructed to satisfy
-// every relation the prose states (DXbar = 1.33x Flit-Bless area,
-// Unified = 1.25x, Buffered4 < DXbar < Buffered8, buffer bank area >
-// crossbar area).  See EXPERIMENTS.md for the derivation.
+// EnergyParams/AreaParams are the per-design operating point the
+// simulator consumes: derive_energy_params()/derive_area_params()
+// assemble them from a SimConfig (tech node, flit width, buffer depth,
+// crossbar radix from the topology) — there is no constants table.  At
+// the paper's 65 nm / 1.0 V / 1 GHz / 128-bit point the derived values
+// reproduce Table III: crossbar 13 pJ/flit (15 pJ for the unified
+// transmission-gate crossbar), link 36 pJ, buffer write/read
+// 2.8/2.2 pJ, and the DXbar = 1.33x / Unified = 1.25x Flit-Bless area
+// ratios (guarded by tests/power_test.cpp).
 #pragma once
 
 #include <cstdint>
 
+#include "common/config.hpp"
 #include "common/types.hpp"
 #include "snapshot/snapshot.hpp"
 
 namespace dxbar {
 
-/// Per-event energies in picojoules per 128-bit flit.
+/// Per-event energies in picojoules per flit event, at one derived
+/// operating point (design + tech node + flit width + buffer depth).
 struct EnergyParams {
-  double crossbar_pj = 13.0;       ///< one crossbar traversal
-  double link_pj = 36.0;           ///< one link traversal
-  double buffer_write_pj = 2.8;    ///< one FIFO write
-  double buffer_read_pj = 2.2;     ///< one FIFO read
-  double nack_hop_pj = 1.5;        ///< one hop on the 1-bit NACK network
+  double crossbar_pj = 0.0;      ///< one crossbar traversal
+  double link_pj = 0.0;          ///< one link traversal
+  double buffer_write_pj = 0.0;  ///< one FIFO write
+  double buffer_read_pj = 0.0;   ///< one FIFO read
+  double nack_hop_pj = 0.0;      ///< one hop on the 1-bit NACK network
 };
 
-/// Energy parameters for a router design (unified crossbar costs 15 pJ,
-/// Buffered8's larger buffer organisation costs 1.25x per access).
-EnergyParams energy_params(RouterDesign design);
-
-/// Router area decomposition in mm^2 (per router, 65 nm).
+/// Router area decomposition in mm^2 at one derived operating point.
 struct AreaParams {
-  double crossbar_mm2 = 0.0142;        ///< one 5x5 matrix crossbar
-  double unified_crossbar_mm2 = 0.0209;  ///< 5x5 + transmission gates
-  double buffer_bank_mm2 = 0.0169;     ///< four 4-flit input FIFOs
-  double links_mm2 = 0.0800;           ///< four input links
-  double nack_logic_mm2 = 0.0020;      ///< SCARAB NACK circuit switch
+  double crossbar_mm2 = 0.0;          ///< one matrix crossbar
+  double unified_crossbar_mm2 = 0.0;  ///< matrix + transmission gates
+  double buffer_bank_mm2 = 0.0;       ///< the input FIFO bank
+  double links_mm2 = 0.0;             ///< four input links
+  double nack_logic_mm2 = 0.0;        ///< SCARAB NACK circuit switch
 };
+
+/// Crossbar radix derived from the topology: every mesh/torus router
+/// switches its link ports plus the local injection/ejection port.
+[[nodiscard]] int crossbar_radix(const SimConfig& cfg) noexcept;
+
+/// Assembles the per-event energies for `cfg.design` from the
+/// component models at `cfg.tech_node` / `cfg.flit_bits` /
+/// `cfg.buffer_depth` (Buffered 8 charges its two-bank organisation's
+/// longer bitlines; the unified crossbar charges its transmission
+/// gates).
+[[nodiscard]] EnergyParams derive_energy_params(const SimConfig& cfg);
+
+/// Assembles the component areas for `cfg` (design-independent: the
+/// per-design composition is router_area_mm2).
+[[nodiscard]] AreaParams derive_area_params(const SimConfig& cfg);
 
 /// Total per-router area for a design (paper Table III column 1).
-double router_area_mm2(RouterDesign design, const AreaParams& p = {});
+[[nodiscard]] double router_area_mm2(RouterDesign design,
+                                     const AreaParams& p);
 
 /// Critical-path timing reported by the paper (ns; both < 1 ns cycle).
 struct TimingParams {
@@ -50,9 +65,9 @@ struct TimingParams {
 };
 
 /// Per-category energy accumulator.  Routers report events; the meter
-/// counts them and converts to nanojoules on demand using the design's
-/// parameters.  Recording is gated by `set_enabled` so only the
-/// measurement window accumulates.
+/// counts them and converts to nanojoules on demand using the derived
+/// parameters it was constructed with.  Recording is gated by
+/// `set_enabled` so only the measurement window accumulates.
 ///
 /// Counting integer events instead of summing doubles makes the meter
 /// fold-order independent: sharded runs keep one meter per shard and
@@ -61,8 +76,9 @@ struct TimingParams {
 /// count — a double accumulator would pick up shard-dependent rounding.
 class EnergyMeter {
  public:
-  explicit EnergyMeter(RouterDesign design)
-      : params_(energy_params(design)) {}
+  explicit EnergyMeter(const EnergyParams& params) : params_(params) {}
+  explicit EnergyMeter(const SimConfig& cfg)
+      : EnergyMeter(derive_energy_params(cfg)) {}
 
   void set_enabled(bool on) noexcept { enabled_ = on; }
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }

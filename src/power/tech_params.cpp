@@ -1,0 +1,56 @@
+#include "power/tech_params.hpp"
+
+namespace dxbar {
+namespace {
+
+/// Scales the calibrated 65 nm bundle to a smaller node: linear
+/// dimensions (pitch, link length) and device capacitances shrink with
+/// the feature size, unit areas shrink quadratically, and the per-mm
+/// wire capacitance improves only mildly (global wires do not scale
+/// like devices — the classic interconnect-scaling problem).
+TechParams scaled(int nm, double vdd, double freq_ghz,
+                  double xbar_wire_cap_ff_mm, double link_wire_cap_ff_mm) {
+  TechParams t;  // 65 nm calibration
+  const double s = static_cast<double>(nm) / static_cast<double>(t.node_nm);
+  t.node_nm = nm;
+  t.vdd = vdd;
+  t.freq_ghz = freq_ghz;
+  t.xbar_wire_cap_ff_mm = xbar_wire_cap_ff_mm;
+  t.link_wire_cap_ff_mm = link_wire_cap_ff_mm;
+  t.xbar_pitch_um *= s;
+  t.link_length_mm *= s;
+  t.connector_cap_ff *= s;
+  t.driver_cap_ff *= s;
+  t.tgate_cap_ff *= s;
+  t.cell_write_cap_ff *= s;
+  t.cell_read_cap_ff *= s;
+  t.bitline_write_cap_ff *= s;
+  t.bitline_read_cap_ff *= s;
+  t.nack_ctrl_cap_ff *= s;
+  t.cell_area_um2 *= s * s;
+  t.tgate_area_um2 *= s * s;
+  t.link_area_um2_per_bit_mm *= s;  // area = bits * length * this; the
+                                    // length factor carries the second s
+  t.nack_logic_area_um2 *= s * s;
+  return t;
+}
+
+}  // namespace
+
+TechParams TechParams::node(int nm) {
+  switch (nm) {
+    case 32:
+      return scaled(32, /*vdd=*/0.9, /*freq_ghz=*/1.5,
+                    /*xbar_wire_cap_ff_mm=*/230.0,
+                    /*link_wire_cap_ff_mm=*/460.0);
+    case 16:
+      return scaled(16, /*vdd=*/0.8, /*freq_ghz=*/2.0,
+                    /*xbar_wire_cap_ff_mm=*/210.0,
+                    /*link_wire_cap_ff_mm=*/420.0);
+    case 65:
+    default:
+      return TechParams{};
+  }
+}
+
+}  // namespace dxbar

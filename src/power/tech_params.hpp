@@ -1,0 +1,65 @@
+// Technology parameters for the Orion-style parametric energy/area
+// model (component_models.hpp).
+//
+// One TechParams bundle describes a process node: supply voltage,
+// clock, per-mm wire capacitances, device capacitances and unit areas.
+// Every per-event energy downstream is a switched-capacitance formula
+//     E = bits * activity * 1/2 * C_bit * Vdd^2
+// so the whole model scales with flit width, crossbar radix, buffer
+// depth and node instead of being a table of constants.
+//
+// The 65 nm preset is calibrated so the derived values land on the
+// paper's Table III (TSMC 65 nm, 1.0 V, 1 GHz, 128-bit flits):
+// crossbar 13 pJ/flit (unified 15 pJ), link 36 pJ, buffer write/read
+// 2.8/2.2 pJ at depth 4, and the area decomposition behind the
+// DXbar = 1.33x / Unified = 1.25x Flit-Bless ratios.  The 32 nm and
+// 16 nm presets apply constant-field-style scaling (device caps and
+// lengths shrink linearly, areas quadratically, Vdd drops, per-mm wire
+// capacitance improves only mildly).  DESIGN.md section 13 derives
+// every constant.
+#pragma once
+
+namespace dxbar {
+
+struct TechParams {
+  int node_nm = 65;        ///< feature size (65, 32 or 16)
+  double vdd = 1.0;        ///< supply voltage (V)
+  double freq_ghz = 1.0;   ///< nominal clock (documentation; dynamic
+                           ///< energy per event is frequency-free)
+  /// Switching activity: fraction of flit bits that toggle per event.
+  double activity = 0.5;
+
+  // --- wires (fF per mm) ----------------------------------------------
+  double xbar_wire_cap_ff_mm = 250.0;  ///< crossbar-grid wire
+  double link_wire_cap_ff_mm = 500.0;  ///< repeatered inter-router link
+
+  // --- geometry --------------------------------------------------------
+  double xbar_pitch_um = 0.1862;  ///< crossbar wire track pitch
+  double link_length_mm = 2.25;   ///< router-to-router tile pitch
+
+  // --- device capacitances (fF) ---------------------------------------
+  double connector_cap_ff = 30.0;   ///< crosspoint (tri-state drain) load
+  double driver_cap_ff = 46.6;      ///< crossbar output driver input cap
+  double tgate_cap_ff = 6.25;       ///< transmission-gate diffusion cap
+  double cell_write_cap_ff = 65.625;    ///< FIFO cell write (word line + cell)
+  double cell_read_cap_ff = 51.5625;    ///< FIFO cell read (sense path)
+  double bitline_write_cap_ff = 5.46875;  ///< per FIFO entry on the write
+                                          ///< bitline
+  double bitline_read_cap_ff = 4.296875;  ///< per FIFO entry on the read
+                                          ///< bitline
+  double nack_ctrl_cap_ff = 4875.0;  ///< NACK circuit-switch control
+                                     ///< (effective cap per hop event)
+
+  // --- unit areas ------------------------------------------------------
+  double cell_area_um2 = 8.252;        ///< FIFO storage, per bit
+  double tgate_area_um2 = 10.47;       ///< one transmission gate
+  double link_area_um2_per_bit_mm = 69.44;  ///< wire + repeaters
+  double nack_logic_area_um2 = 2000.0;      ///< NACK circuit switch
+
+  /// Preset for a supported node (65, 32 or 16 nm).  Unsupported nodes
+  /// are rejected by SimConfig::validate() before reaching here; this
+  /// falls back to 65 nm so the model never divides by garbage.
+  [[nodiscard]] static TechParams node(int nm);
+};
+
+}  // namespace dxbar

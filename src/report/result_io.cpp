@@ -289,6 +289,7 @@ void read_config(const JsonValue& v, const std::string& path, SimConfig& cfg,
   r.number("warmup_load", cfg.warmup_load);
   r.integer("packet_length", cfg.packet_length);
   r.integer("flit_bits", cfg.flit_bits);
+  r.opt_integer("tech", cfg.tech_node);
   r.uint64("warmup", cfg.warmup_cycles);
   r.uint64("measure", cfg.measure_cycles);
   r.uint64("drain", cfg.drain_cycles);

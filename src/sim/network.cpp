@@ -36,7 +36,7 @@ Network::Network(const SimConfig& cfg, FaultPlan plan,
     : cfg_(cfg),
       mesh_(cfg.mesh_width, cfg.mesh_height, cfg.torus),
       part_(part),
-      energy_(cfg.design),
+      energy_(derive_energy_params(cfg)),
       faults_(std::move(plan)),
       link_faults_(mesh_, cfg.link_fault_fraction, cfg.seed),
       stats_(cfg.warmup_cycles, cfg.warmup_cycles + cfg.measure_cycles,
@@ -91,7 +91,7 @@ void Network::build() {
   shards_.reserve(static_cast<std::size_t>(num_shards));
   for (int s = 0; s < num_shards; ++s) {
     shards_.push_back(std::make_unique<ShardState>(
-        cfg_.design, cfg_.warmup_cycles,
+        energy_.params(), cfg_.warmup_cycles,
         cfg_.warmup_cycles + cfg_.measure_cycles));
     // Pre-size the shard's flit arena so steady-state injection recycles
     // slots instead of growing (growth remains correct, just amortized).

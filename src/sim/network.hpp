@@ -210,8 +210,9 @@ class Network final : public Injector {
   /// serial commit step folds it into the shared aggregates each cycle,
   /// leaving observable state identical to the single-threaded run.
   struct alignas(64) ShardState final : NackSink {
-    ShardState(RouterDesign design, Cycle window_start, Cycle window_end)
-        : energy(design), tally(window_start, window_end) {}
+    ShardState(const EnergyParams& params, Cycle window_start,
+               Cycle window_end)
+        : energy(params), tally(window_start, window_end) {}
 
     /// Slots (into channels_) this shard must advance; boundary
     /// channels are pinned here permanently.

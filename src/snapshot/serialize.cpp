@@ -32,6 +32,9 @@ void save_run_stats(SnapshotWriter& w, const RunStats& s) {
   w.f64(s.req_latency_p99);
   w.f64(s.req_latency_max);
   w.u64(s.requests_completed);
+  // Full request-latency histogram (sparse), added in snapshot
+  // version 5 so replicated runs can pool tail quantiles.
+  s.req_hist.save(w);
 }
 
 RunStats load_run_stats(SnapshotReader& r) {
@@ -66,6 +69,9 @@ RunStats load_run_stats(SnapshotReader& r) {
     s.req_latency_max = r.f64();
     s.requests_completed = r.u64();
   }
+  // Pre-v5 streams carry the quantile summary only; the histogram
+  // stays empty, which merges as "no samples".
+  if (r.version() >= 5) s.req_hist.load(r);
   return s;
 }
 
@@ -101,6 +107,9 @@ void save_config(SnapshotWriter& w, const SimConfig& cfg) {
   w.u64(cfg.service_delay);
   w.i32(cfg.request_length);
   w.f64(cfg.hotspot_fraction);
+  // Technology node for the parametric energy model, added in snapshot
+  // version 5.
+  w.i32(cfg.tech_node);
 }
 
 SimConfig load_config(SnapshotReader& r) {
@@ -141,6 +150,9 @@ SimConfig load_config(SnapshotReader& r) {
     cfg.request_length = r.i32();
     cfg.hotspot_fraction = r.f64();
   }
+  // Pre-v5 streams were all recorded at the paper's 65 nm point, which
+  // is the field's default.
+  if (r.version() >= 5) cfg.tech_node = r.i32();
   return cfg;
 }
 
@@ -158,6 +170,11 @@ std::uint64_t structural_fingerprint(const SimConfig& cfg) {
   w.i32(cfg.retransmit_buffer);
   w.i32(cfg.packet_length);
   w.i32(cfg.flit_bits);
+  // The tech node never changes cycle-level behaviour, but it scales
+  // every derived energy/area figure, so two runs at different nodes
+  // are different experiments — a snapshot must not restore across
+  // them.
+  w.i32(cfg.tech_node);
   w.u64(cfg.warmup_cycles);
   w.u64(cfg.measure_cycles);
   w.f64(cfg.fault_fraction);

@@ -41,7 +41,7 @@
 namespace dxbar {
 
 inline constexpr std::uint32_t kSnapshotMagic = 0x4E535844;  // "DXSN"
-inline constexpr std::uint16_t kSnapshotVersion = 4;  // 2: EnergyMeter
+inline constexpr std::uint16_t kSnapshotVersion = 5;  // 2: EnergyMeter
                                                       // stores event counts
                                                       // 3: SimConfig grows
                                                       // measure_seed
@@ -51,6 +51,10 @@ inline constexpr std::uint16_t kSnapshotVersion = 4;  // 2: EnergyMeter
                                                       // workload knobs;
                                                       // RunStats grows the
                                                       // request-latency block
+                                                      // 5: SimConfig grows
+                                                      // tech_node; RunStats
+                                                      // grows the request
+                                                      // latency histogram
 inline constexpr std::uint16_t kSnapshotEndianMark = 0xFEFF;
 
 /// Builds a four-character section tag, e.g. section_tag("CHAN").

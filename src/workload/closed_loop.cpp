@@ -115,6 +115,7 @@ void ClosedLoopWorkload::fill_run_stats(RunStats& out) const {
   out.req_latency_p95 = hist_.quantile(0.95);
   out.req_latency_p99 = hist_.quantile(0.99);
   out.req_latency_max = hist_.max();
+  out.req_hist = hist_;
 }
 
 void ClosedLoopWorkload::save_state(SnapshotWriter& w) const {

@@ -28,7 +28,7 @@
 #include <vector>
 
 #include "traffic/traffic_gen.hpp"
-#include "workload/latency_histogram.hpp"
+#include "common/latency_histogram.hpp"
 
 namespace dxbar {
 

@@ -31,6 +31,7 @@ namespace fs = std::filesystem;
 const std::vector<std::string> kExpectedExperiments = {
     "ablation_buffer_depth",
     "ablation_energy_breakdown",
+    "ablation_energy_scaling",
     "ablation_extensions",
     "ablation_fairness_threshold",
     "ablation_link_faults",

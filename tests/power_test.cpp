@@ -1,38 +1,63 @@
-// Tests for power/: Table III constants, the area relations the paper
-// states in prose, and energy-meter accounting identities.
+// Tests for power/: the parametric technology model.  Golden tests pin
+// the 65 nm / 1.0 V / 1 GHz / 128-bit operating point to the paper's
+// Table III values; property tests check the derivation is monotone in
+// flit width, buffer depth, crossbar radix and tech node; meter tests
+// check the accounting identities over derived parameters.
 #include <gtest/gtest.h>
 
+#include "power/component_models.hpp"
 #include "power/energy_model.hpp"
+#include "power/tech_params.hpp"
 
 namespace dxbar {
 namespace {
 
-TEST(EnergyParams, PaperConstants) {
-  const EnergyParams dx = energy_params(RouterDesign::DXbar);
-  EXPECT_DOUBLE_EQ(dx.crossbar_pj, 13.0);  // paper: 13 pJ/flit
-  EXPECT_DOUBLE_EQ(dx.link_pj, 36.0);      // paper: 36 pJ per flit traversal
+SimConfig config_for(RouterDesign d, int tech_node = 65) {
+  SimConfig c;
+  c.design = d;
+  c.tech_node = tech_node;
+  return c;
+}
 
-  const EnergyParams uni = energy_params(RouterDesign::UnifiedXbar);
-  EXPECT_DOUBLE_EQ(uni.crossbar_pj, 15.0);  // transmission gates: 15 pJ
+// Golden validation: at the paper's operating point the derived
+// per-event energies reproduce Table III within 5%.
+TEST(PowerTableIII, GoldenEnergies65nm) {
+  const EnergyParams dx = derive_energy_params(config_for(RouterDesign::DXbar));
+  EXPECT_NEAR(dx.crossbar_pj, 13.0, 13.0 * 0.05);  // paper: 13 pJ/flit
+  EXPECT_NEAR(dx.link_pj, 36.0, 36.0 * 0.05);      // paper: 36 pJ/traversal
+  EXPECT_NEAR(dx.nack_hop_pj, 1.5, 1.5 * 0.05);
+  EXPECT_NEAR(dx.buffer_write_pj, 2.8, 2.8 * 0.05);
+  EXPECT_NEAR(dx.buffer_read_pj, 2.2, 2.2 * 0.05);
 
-  const EnergyParams b8 = energy_params(RouterDesign::Buffered8);
-  const EnergyParams b4 = energy_params(RouterDesign::Buffered4);
+  const EnergyParams uni =
+      derive_energy_params(config_for(RouterDesign::UnifiedXbar));
+  EXPECT_NEAR(uni.crossbar_pj, 15.0, 15.0 * 0.05);  // transmission gates
+
+  // Buffered 8 pays deeper access wiring than Buffered 4.
+  const EnergyParams b8 =
+      derive_energy_params(config_for(RouterDesign::Buffered8));
+  const EnergyParams b4 =
+      derive_energy_params(config_for(RouterDesign::Buffered4));
   EXPECT_GT(b8.buffer_write_pj, b4.buffer_write_pj);
   EXPECT_GT(b8.buffer_read_pj, b4.buffer_read_pj);
 }
 
-TEST(Area, PaperRelationsHold) {
-  const double bless = router_area_mm2(RouterDesign::FlitBless);
-  const double scarab = router_area_mm2(RouterDesign::Scarab);
-  const double b4 = router_area_mm2(RouterDesign::Buffered4);
-  const double b8 = router_area_mm2(RouterDesign::Buffered8);
-  const double dx = router_area_mm2(RouterDesign::DXbar);
-  const double uni = router_area_mm2(RouterDesign::UnifiedXbar);
+TEST(PowerTableIII, GoldenAreaRelations65nm) {
+  const auto area = [](RouterDesign d) {
+    const SimConfig c = config_for(d);
+    return router_area_mm2(d, derive_area_params(c));
+  };
+  const double bless = area(RouterDesign::FlitBless);
+  const double scarab = area(RouterDesign::Scarab);
+  const double b4 = area(RouterDesign::Buffered4);
+  const double b8 = area(RouterDesign::Buffered8);
+  const double dx = area(RouterDesign::DXbar);
+  const double uni = area(RouterDesign::UnifiedXbar);
 
   // "DXbar occupies 33% more area than Flit-Bless ... the unified
-  //  crossbar design occupies 25% more."
-  EXPECT_NEAR(dx / bless, 1.33, 0.02);
-  EXPECT_NEAR(uni / bless, 1.25, 0.02);
+  //  crossbar design occupies 25% more."  5% tolerance on the ratios.
+  EXPECT_NEAR(dx / bless, 1.33, 1.33 * 0.05);
+  EXPECT_NEAR(uni / bless, 1.25, 1.25 * 0.05);
 
   // "DXbar occupies more area than buffered 4 ... less than buffered 8
   //  because the buffers have a larger area than the crossbar."
@@ -46,11 +71,11 @@ TEST(Area, PaperRelationsHold) {
   EXPECT_GT(scarab, bless);
   EXPECT_LT(scarab - bless, 0.01);
 
-  const AreaParams p;
+  const AreaParams p = derive_area_params(config_for(RouterDesign::DXbar));
   EXPECT_GT(p.buffer_bank_mm2, p.crossbar_mm2);
 }
 
-TEST(Timing, UnderOneNanosecondClock) {
+TEST(PowerTiming, UnderOneNanosecondClock) {
   const TimingParams t;
   EXPECT_LT(t.link_traversal_ns, 1.0);   // paper: 0.47 ns
   EXPECT_LT(t.unified_switch_ns, 1.0);   // paper: 0.27 ns
@@ -58,8 +83,103 @@ TEST(Timing, UnderOneNanosecondClock) {
   EXPECT_DOUBLE_EQ(t.unified_switch_ns, 0.27);
 }
 
+// Property: every per-event energy scales up with flit width (more bits
+// switching the same wires).
+TEST(PowerScaling, MonotoneInFlitWidth) {
+  SimConfig narrow = config_for(RouterDesign::DXbar);
+  SimConfig wide = narrow;
+  narrow.flit_bits = 64;
+  wide.flit_bits = 256;
+  const EnergyParams lo = derive_energy_params(narrow);
+  const EnergyParams hi = derive_energy_params(wide);
+  EXPECT_GT(hi.crossbar_pj, lo.crossbar_pj);
+  EXPECT_GT(hi.link_pj, lo.link_pj);
+  EXPECT_GT(hi.buffer_write_pj, lo.buffer_write_pj);
+  EXPECT_GT(hi.buffer_read_pj, lo.buffer_read_pj);
+  // Wider flits also mean wider crossbars and buffers.
+  const AreaParams alo = derive_area_params(narrow);
+  const AreaParams ahi = derive_area_params(wide);
+  EXPECT_GT(ahi.crossbar_mm2, alo.crossbar_mm2);
+  EXPECT_GT(ahi.buffer_bank_mm2, alo.buffer_bank_mm2);
+  EXPECT_GT(ahi.links_mm2, alo.links_mm2);
+}
+
+// Property: deeper FIFOs cost more per access (longer bitlines) and
+// more silicon.
+TEST(PowerScaling, MonotoneInBufferDepth) {
+  SimConfig shallow = config_for(RouterDesign::Buffered4);
+  SimConfig deep = shallow;
+  shallow.buffer_depth = 2;
+  deep.buffer_depth = 16;
+  const EnergyParams lo = derive_energy_params(shallow);
+  const EnergyParams hi = derive_energy_params(deep);
+  EXPECT_GT(hi.buffer_write_pj, lo.buffer_write_pj);
+  EXPECT_GT(hi.buffer_read_pj, lo.buffer_read_pj);
+  // Crossbar and link energy do not depend on buffering.
+  EXPECT_DOUBLE_EQ(hi.crossbar_pj, lo.crossbar_pj);
+  EXPECT_DOUBLE_EQ(hi.link_pj, lo.link_pj);
+  EXPECT_GT(derive_area_params(deep).buffer_bank_mm2,
+            derive_area_params(shallow).buffer_bank_mm2);
+}
+
+// Property: a bigger crossbar radix means longer input/output wires,
+// so both traversal energy and area grow.
+TEST(PowerScaling, MonotoneInCrossbarRadix) {
+  const TechParams t = TechParams::node(65);
+  const MatrixCrossbarModel small(5, 5, 128, t);
+  const MatrixCrossbarModel big(8, 8, 128, t);
+  EXPECT_GT(big.traversal_pj(), small.traversal_pj());
+  EXPECT_GT(big.area_mm2(), small.area_mm2());
+  // Segmentation adds gate capacitance on top of the matrix wires.
+  const SegmentedCrossbarModel seg(5, 5, 128, 5, t);
+  EXPECT_GT(seg.traversal_pj(), small.traversal_pj());
+  EXPECT_GT(seg.area_mm2(), small.area_mm2());
+}
+
+// Property: newer nodes run at lower Vdd with shorter wires, so every
+// per-event energy and every area shrinks monotonically 65 > 32 > 16.
+TEST(PowerScaling, ShrinksWithTechNode) {
+  const EnergyParams e65 =
+      derive_energy_params(config_for(RouterDesign::DXbar, 65));
+  const EnergyParams e32 =
+      derive_energy_params(config_for(RouterDesign::DXbar, 32));
+  const EnergyParams e16 =
+      derive_energy_params(config_for(RouterDesign::DXbar, 16));
+  EXPECT_GT(e65.crossbar_pj, e32.crossbar_pj);
+  EXPECT_GT(e32.crossbar_pj, e16.crossbar_pj);
+  EXPECT_GT(e65.link_pj, e32.link_pj);
+  EXPECT_GT(e32.link_pj, e16.link_pj);
+  EXPECT_GT(e65.buffer_write_pj, e32.buffer_write_pj);
+  EXPECT_GT(e32.buffer_write_pj, e16.buffer_write_pj);
+
+  const AreaParams a65 = derive_area_params(config_for(RouterDesign::DXbar, 65));
+  const AreaParams a32 = derive_area_params(config_for(RouterDesign::DXbar, 32));
+  const AreaParams a16 = derive_area_params(config_for(RouterDesign::DXbar, 16));
+  EXPECT_GT(a65.crossbar_mm2, a32.crossbar_mm2);
+  EXPECT_GT(a32.crossbar_mm2, a16.crossbar_mm2);
+  EXPECT_GT(a65.buffer_bank_mm2, a32.buffer_bank_mm2);
+  EXPECT_GT(a32.buffer_bank_mm2, a16.buffer_bank_mm2);
+}
+
+// The area ratios the paper states are pure geometry — they survive a
+// tech shrink even though the absolute numbers change.
+TEST(PowerScaling, AreaRatiosSurviveShrink) {
+  for (int node : {32, 16}) {
+    const auto area = [&](RouterDesign d) {
+      const SimConfig c = config_for(d, node);
+      return router_area_mm2(d, derive_area_params(c));
+    };
+    const double bless = area(RouterDesign::FlitBless);
+    EXPECT_NEAR(area(RouterDesign::DXbar) / bless, 1.33, 1.33 * 0.05)
+        << node << " nm";
+    EXPECT_NEAR(area(RouterDesign::UnifiedXbar) / bless, 1.25, 1.25 * 0.05)
+        << node << " nm";
+  }
+}
+
 TEST(EnergyMeter, AccountingIdentity) {
-  EnergyMeter m(RouterDesign::DXbar);
+  const SimConfig cfg = config_for(RouterDesign::DXbar);
+  EnergyMeter m(cfg);
   m.crossbar_traversal();
   m.crossbar_traversal();
   m.link_traversal();
@@ -67,7 +187,7 @@ TEST(EnergyMeter, AccountingIdentity) {
   m.buffer_read();
   m.nack_hops(4);
 
-  const EnergyParams p = energy_params(RouterDesign::DXbar);
+  const EnergyParams p = derive_energy_params(cfg);
   EXPECT_DOUBLE_EQ(m.crossbar_nj(), 2 * p.crossbar_pj * 1e-3);
   EXPECT_DOUBLE_EQ(m.link_nj(), p.link_pj * 1e-3);
   EXPECT_DOUBLE_EQ(m.buffer_nj(),
@@ -79,7 +199,7 @@ TEST(EnergyMeter, AccountingIdentity) {
 }
 
 TEST(EnergyMeter, DisabledRecordsNothing) {
-  EnergyMeter m(RouterDesign::DXbar);
+  EnergyMeter m(config_for(RouterDesign::DXbar));
   m.set_enabled(false);
   m.crossbar_traversal();
   m.link_traversal();
@@ -91,18 +211,32 @@ TEST(EnergyMeter, DisabledRecordsNothing) {
 }
 
 TEST(EnergyMeter, ResetClears) {
-  EnergyMeter m(RouterDesign::Buffered4);
+  EnergyMeter m(config_for(RouterDesign::Buffered4));
   m.buffer_write();
   m.reset();
   EXPECT_DOUBLE_EQ(m.total_nj(), 0.0);
 }
 
 TEST(EnergyMeter, UnifiedChargesGateOverhead) {
-  EnergyMeter dx(RouterDesign::DXbar);
-  EnergyMeter uni(RouterDesign::UnifiedXbar);
+  EnergyMeter dx(config_for(RouterDesign::DXbar));
+  EnergyMeter uni(config_for(RouterDesign::UnifiedXbar));
   dx.crossbar_traversal();
   uni.crossbar_traversal();
   EXPECT_GT(uni.crossbar_nj(), dx.crossbar_nj());
+}
+
+// At 32 nm the same event stream costs strictly less than at 65 nm —
+// the meter is wired to the derived parameters, not constants.
+TEST(EnergyMeter, TechNodeChangesCharges) {
+  EnergyMeter m65(config_for(RouterDesign::DXbar, 65));
+  EnergyMeter m32(config_for(RouterDesign::DXbar, 32));
+  for (EnergyMeter* m : {&m65, &m32}) {
+    m->crossbar_traversal();
+    m->link_traversal();
+    m->buffer_write();
+    m->buffer_read();
+  }
+  EXPECT_GT(m65.total_nj(), m32.total_nj());
 }
 
 }  // namespace

@@ -104,10 +104,14 @@ TEST(Reproduction, Fig11FaultDegradationBounded) {
 // Table III relations are asserted in power_test.cpp; here pin the two
 // headline ratios end to end.
 TEST(Reproduction, TableIIIAreaRatios) {
-  const double bless = router_area_mm2(RouterDesign::FlitBless);
-  EXPECT_NEAR(router_area_mm2(RouterDesign::DXbar) / bless, 1.33, 0.02);
-  EXPECT_NEAR(router_area_mm2(RouterDesign::UnifiedXbar) / bless, 1.25,
-              0.02);
+  const auto area = [](RouterDesign d) {
+    SimConfig c;
+    c.design = d;
+    return router_area_mm2(d, derive_area_params(c));
+  };
+  const double bless = area(RouterDesign::FlitBless);
+  EXPECT_NEAR(area(RouterDesign::DXbar) / bless, 1.33, 0.02);
+  EXPECT_NEAR(area(RouterDesign::UnifiedXbar) / bless, 1.25, 0.02);
 }
 
 // Section III.C: past saturation only a small fraction of traversals
@@ -116,9 +120,11 @@ TEST(Reproduction, BufferingStaysRare) {
   const RunStats s = run(RouterDesign::DXbar, 0.5);
   // Buffer energy share is a proxy: each buffered flit pays one write +
   // one read (5 pJ) against 13+36 pJ per hop.
+  SimConfig dxbar_cfg;
+  dxbar_cfg.design = RouterDesign::DXbar;
   const double buffered_fraction =
       (s.energy_buffer_nj / 5.0) /
-      (s.energy_crossbar_nj / energy_params(RouterDesign::DXbar).crossbar_pj);
+      (s.energy_crossbar_nj / derive_energy_params(dxbar_cfg).crossbar_pj);
   EXPECT_LT(buffered_fraction, 0.25);
   EXPECT_GT(buffered_fraction, 0.01);
 }

@@ -10,7 +10,9 @@ namespace {
 
 TEST(NackNetwork, DeliversAfterDistancePlusOne) {
   const Mesh m(8, 8);
-  EnergyMeter energy(RouterDesign::Scarab);
+  SimConfig scarab;
+  scarab.design = RouterDesign::Scarab;
+  EnergyMeter energy(scarab);
   NackNetwork nn;
   Flit f{.packet = 1, .src = m.node(0, 0)};
   nn.schedule(f, m.node(3, 4), /*now=*/10, m, energy);
@@ -27,7 +29,9 @@ TEST(NackNetwork, DeliversAfterDistancePlusOne) {
 
 TEST(NackNetwork, PerSourceWireSerializesBursts) {
   const Mesh m(4, 4);
-  EnergyMeter energy(RouterDesign::Scarab);
+  SimConfig scarab;
+  scarab.design = RouterDesign::Scarab;
+  EnergyMeter energy(scarab);
   NackNetwork nn;
   nn.set_num_nodes(16);
   // Three drops against the same source, all 1 hop away at cycle 0:
@@ -46,7 +50,9 @@ TEST(NackNetwork, PerSourceWireSerializesBursts) {
 
 TEST(NackNetwork, SameCycleDeliveriesKeepFifoOrder) {
   const Mesh m(4, 4);
-  EnergyMeter energy(RouterDesign::Scarab);
+  SimConfig scarab;
+  scarab.design = RouterDesign::Scarab;
+  EnergyMeter energy(scarab);
   NackNetwork nn;
   Flit a{.packet = 1, .src = 0};
   Flit b{.packet = 2, .src = 0};

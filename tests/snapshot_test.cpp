@@ -371,6 +371,23 @@ TEST(SnapshotValues, ConfigRoundTripAndFingerprint) {
   EXPECT_NE(structural_fingerprint(other), structural_fingerprint(cfg));
 }
 
+// tech_node feeds the derived energy/area parameters, so it is part of
+// the structural identity and must survive a snapshot round trip.
+TEST(SnapshotValues, TechNodeRoundTripAndFingerprint) {
+  SimConfig cfg = small_cfg(RouterDesign::DXbar);
+  cfg.tech_node = 32;
+  SnapshotWriter w;
+  save_config(w, cfg);
+  SnapshotReader r(w.data());
+  const SimConfig back = load_config(r);
+  EXPECT_EQ(back.tech_node, 32);
+  EXPECT_EQ(structural_fingerprint(back), structural_fingerprint(cfg));
+
+  SimConfig other = cfg;
+  other.tech_node = 16;
+  EXPECT_NE(structural_fingerprint(other), structural_fingerprint(cfg));
+}
+
 // --- warm-start sweeps ---------------------------------------------------
 
 TEST(WarmSweep, BitIdenticalToColdSweep) {

@@ -17,7 +17,7 @@
 #include "sim/sweep.hpp"
 #include "workload/closed_loop.hpp"
 #include "workload/factory.hpp"
-#include "workload/latency_histogram.hpp"
+#include "common/latency_histogram.hpp"
 
 namespace dxbar {
 namespace {
