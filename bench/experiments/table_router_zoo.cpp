@@ -1,0 +1,213 @@
+// Router-zoo shootout at an equal buffer budget — DXbar vs DAMQ vs
+// minBD vs Unified with the total flit storage per node pinned to
+// kBudgetSlots, so every column difference is microarchitecture, not
+// capacity.  The per-design buffer_depth is *solved* from
+// buffer_slots_per_node() rather than hard-coded: the input-queued
+// designs land on depth 4 (4 ports x 4 slots) while minBD, whose only
+// storage is the side buffer, gets the whole budget as one 16-slot
+// FIFO.
+//
+// Four metrics per design:
+//   thr@hi     open-loop accepted load at a past-saturation offered
+//              load — saturation throughput
+//   pJ/flit    open-loop dynamic energy per delivered flit at a light
+//              common load (every design well under saturation, so the
+//              delivered traffic is identical and the energy comparison
+//              is apples-to-apples)
+//   p99 req    closed-loop p99 request latency (cycles) under the
+//              coherence-shaped mix (read_fraction < 1 exercises
+//              writeback traffic in the shootout)
+//   area/leak  derived router area (mm^2) and its leakage power (mW)
+//              at the configured tech node — static model outputs,
+//              identical across replicas
+//
+// Pure grid + reduce, so it composes with --resume and --seeds; under
+// --seeds N a custom combiner pools the request-latency histograms
+// before taking p99 (cell-wise means of per-replica p99s are not the
+// pooled p99), like closedloop_saturation.
+#include <string>
+
+#include "exp/runner.hpp"
+#include "exp_common.hpp"
+#include "power/energy_model.hpp"
+#include "router/factory.hpp"
+
+namespace dxbar::bench {
+namespace {
+
+/// Total flit slots per node every contender must provision.
+constexpr int kBudgetSlots = 16;
+/// Past every contender's saturation knee at the default 8x8 mesh.
+constexpr double kHighLoad = 0.40;
+/// Light enough that all four designs deliver (essentially) all
+/// offered traffic, making pJ/flit directly comparable.
+constexpr double kLightLoad = 0.10;
+/// Coherence mix for the closed-loop leg (satellite knob in the zoo).
+constexpr double kReadFraction = 0.8;
+
+const std::vector<RouterDesign>& zoo_designs() {
+  static const std::vector<RouterDesign> v = {
+      RouterDesign::DXbar,
+      RouterDesign::Damq,
+      RouterDesign::MinBD,
+      RouterDesign::UnifiedXbar,
+  };
+  return v;
+}
+
+/// Smallest buffer_depth whose per-node storage meets the budget
+/// exactly; aborts the experiment if a design cannot hit it (would mean
+/// the budget is not divisible by the design's bank structure).
+int depth_for_budget(RouterDesign d) {
+  for (int depth = 1; depth <= kBudgetSlots; ++depth) {
+    if (buffer_slots_per_node(d, depth) == kBudgetSlots) return depth;
+  }
+  std::fprintf(stderr,
+               "table_router_zoo: %s cannot provision %d slots/node\n",
+               std::string(to_string(d)).c_str(), kBudgetSlots);
+  std::exit(1);
+}
+
+/// Grid layout: 3 points per design, design-major.
+constexpr std::size_t kPointsPerDesign = 3;
+constexpr std::size_t kOpenHigh = 0;   // thr@hi
+constexpr std::size_t kOpenLight = 1;  // pJ/flit
+constexpr std::size_t kClosed = 2;     // p99 req
+
+constexpr const char* kTableTitle =
+    "Router zoo at equal buffer budget (16 flit-slots per node)";
+
+ExperimentResult reduce_zoo(const RunContext& ctx,
+                            const std::vector<RunStats>& stats) {
+  const auto& designs = zoo_designs();
+
+  Table t;
+  t.title = kTableTitle;
+  t.x_label = "design";
+  for (RouterDesign d : designs) t.x.emplace_back(to_string(d));
+  t.series_labels = {"thr@hi", "pJ/flit", "p99_req", "area_mm2", "leak_mW"};
+  t.values.assign(t.series_labels.size(), {});
+
+  for (std::size_t s = 0; s < designs.size(); ++s) {
+    const RouterDesign d = designs[s];
+    const RunStats& hi = stats[s * kPointsPerDesign + kOpenHigh];
+    const RunStats& light = stats[s * kPointsPerDesign + kOpenLight];
+    const RunStats& closed = stats[s * kPointsPerDesign + kClosed];
+
+    SimConfig c = ctx.base;
+    c.design = d;
+    c.buffer_depth = depth_for_budget(d);
+
+    t.values[0].push_back(hi.accepted_load);
+    t.values[1].push_back(light.energy_per_flit_nj() * 1000.0);
+    t.values[2].push_back(closed.req_latency_p99);
+    t.values[3].push_back(router_area_mm2(d, derive_area_params(c)));
+    t.values[4].push_back(router_leakage_mw(c));
+  }
+
+  ExperimentResult r;
+  r.add_table(std::move(t));
+  r.addf(
+      "\nEqual budget: every design provisions %d flit-slots per node\n"
+      "(input-queued designs at buffer_depth %d, minBD's whole budget is\n"
+      "its side buffer at buffer_depth %d — solved from\n"
+      "buffer_slots_per_node, not hard-coded).\n"
+      "thr@hi    = accepted load at offered %.2f (saturation throughput)\n"
+      "pJ/flit   = dynamic energy per delivered flit at offered %.2f\n"
+      "p99_req   = closed-loop p99 request latency (cycles), mlp %d,\n"
+      "            coherence mix read_fraction %.2f\n"
+      "area/leak = derived router area and leakage power at %d nm\n",
+      kBudgetSlots, depth_for_budget(RouterDesign::DXbar),
+      depth_for_budget(RouterDesign::MinBD), kHighLoad, kLightLoad,
+      ctx.base.mlp, kReadFraction, ctx.base.tech_node);
+  return r;
+}
+
+/// --seeds N combiner: mean/ci fold everywhere, then the p99 column's
+/// means are replaced by the p99 of the request-latency histogram
+/// pooled across replicas (the ±ci95 column keeps the per-replica
+/// spread).
+ExperimentResult combine_zoo(const RunContext& ctx,
+                             const std::vector<RunStats>& stats, int seeds) {
+  const std::size_t n_series = zoo_designs().size();
+  const std::size_t pts = n_series * kPointsPerDesign;
+
+  std::vector<ExperimentResult> reps;
+  reps.reserve(static_cast<std::size_t>(seeds));
+  for (int rep = 0; rep < seeds; ++rep) {
+    const auto begin =
+        stats.begin() +
+        static_cast<std::ptrdiff_t>(static_cast<std::size_t>(rep) * pts);
+    reps.push_back(reduce_zoo(
+        ctx, std::vector<RunStats>(begin,
+                                   begin + static_cast<std::ptrdiff_t>(pts))));
+  }
+  ExperimentResult out =
+      exp::combine_replica_results("table_router_zoo", std::move(reps));
+
+  for (exp::Block& b : out.blocks) {
+    if (b.kind != exp::Block::Kind::Table) continue;
+    Table& t = b.table;
+    if (t.title != kTableTitle) continue;
+    // Series 2 ("p99_req") holds the mean cells to overwrite; rows are
+    // designs.
+    for (std::size_t s = 0; s < n_series; ++s) {
+      LatencyHistogram pooled;
+      for (int rep = 0; rep < seeds; ++rep) {
+        pooled.merge(stats[static_cast<std::size_t>(rep) * pts +
+                           s * kPointsPerDesign + kClosed]
+                         .req_hist);
+      }
+      if (pooled.count() > 0) t.values[2][s] = pooled.quantile(0.99);
+    }
+    break;
+  }
+  out.addf(
+      "\np99_req cells are taken from the request-latency histogram "
+      "pooled\nacross all %d replicas; their ±ci95 column shows the "
+      "spread of the\nper-replica p99 estimates.\n",
+      seeds);
+  return out;
+}
+
+const Registration reg(Experiment{
+    .name = "table_router_zoo",
+    .title =
+        "Router zoo: DXbar vs DAMQ vs minBD vs Unified at equal buffer "
+        "budget",
+    .paper_shape =
+        "at 16 slots/node the buffered-crossbar designs (DXbar, Unified) "
+        "lead saturation throughput; DAMQ trades throughput for the "
+        "smallest buffered-router area; minBD keeps most of the "
+        "throughput but pays deflection energy even at light load and "
+        "the worst closed-loop p99 tail",
+    .grid =
+        [](const RunContext& ctx) {
+          std::vector<SimConfig> cfgs;
+          for (RouterDesign d : zoo_designs()) {
+            SimConfig base = ctx.base;
+            base.design = d;
+            base.routing = RoutingAlgo::DOR;
+            base.buffer_depth = depth_for_budget(d);
+
+            SimConfig hi = base;
+            hi.offered_load = kHighLoad;
+            cfgs.push_back(hi);
+
+            SimConfig light = base;
+            light.offered_load = kLightLoad;
+            cfgs.push_back(light);
+
+            SimConfig closed = base;
+            closed.workload = WorkloadKind::ClosedLoop;
+            closed.read_fraction = kReadFraction;
+            cfgs.push_back(closed);
+          }
+          return cfgs;
+        },
+    .reduce = reduce_zoo,
+    .combine = combine_zoo,
+});
+
+}  // namespace
+}  // namespace dxbar::bench

@@ -53,6 +53,10 @@ bool parse_design(std::string_view name, RouterDesign& out) {
     out = RouterDesign::BufferedVC;
   } else if (n == "afc") {
     out = RouterDesign::Afc;
+  } else if (n == "damq") {
+    out = RouterDesign::Damq;
+  } else if (n == "minbd") {
+    out = RouterDesign::MinBD;
   } else {
     return false;
   }
@@ -129,6 +133,9 @@ std::string SimConfig::validate() const {
   if (hotspot_fraction < 0.0 || hotspot_fraction > 1.0) {
     return "hotspot_fraction must lie in [0, 1]";
   }
+  if (read_fraction < 0.0 || read_fraction > 1.0) {
+    return "read_fraction must lie in [0, 1]";
+  }
   if (workload == WorkloadKind::ClosedLoop &&
       design == RouterDesign::BufferedVC && num_vcs < 2) {
     // Replies ride a reserved VC partition on the VC router; with one VC
@@ -143,21 +150,24 @@ std::string SimConfig::validate() const {
   }
   if (torus && (design == RouterDesign::Buffered4 ||
                 design == RouterDesign::Buffered8 ||
-                design == RouterDesign::BufferedVC)) {
+                design == RouterDesign::BufferedVC ||
+                design == RouterDesign::Damq)) {
     // Wrap links close ring dependency cycles; without VC datelines the
-    // credit-based designs can deadlock on a torus.
+    // credit-based designs (DAMQ included — its grants are credits over
+    // a shared pool) can deadlock on a torus.
     return "torus requires a design with a deflection escape valve "
-           "(dxbar, unified, bless, scarab, afc)";
+           "(dxbar, unified, bless, scarab, afc, minbd)";
   }
   if (link_fault_fraction > 0.0 &&
       (design == RouterDesign::Buffered4 ||
        design == RouterDesign::Buffered8 ||
-       design == RouterDesign::BufferedVC)) {
+       design == RouterDesign::BufferedVC ||
+       design == RouterDesign::Damq)) {
     // Fault-aware table routing abandons the turn-model acyclicity the
     // credit-based routers rely on; without a deflection escape valve
     // they can deadlock on a degraded topology.
     return "link faults require a design with a deflection escape valve "
-           "(dxbar, unified, bless, scarab, afc)";
+           "(dxbar, unified, bless, scarab, afc, minbd)";
   }
   if (source_queue_depth < 1) return "source_queue_depth must be >= 1";
   if (retransmit_buffer < 1) return "retransmit_buffer must be >= 1";
@@ -174,7 +184,7 @@ std::string SimConfig::describe() const {
       "routing           %s\n"
       "pattern           %s\n"
       "workload          %s (mlp %d, service %llu, req_len %d, "
-      "hotspot %.2f)\n"
+      "hotspot %.2f, reads %.2f)\n"
       "offered_load      %.3f\n"
       "packet_length     %d flits (%d bits each)\n"
       "tech_node         %d nm\n"
@@ -194,7 +204,7 @@ std::string SimConfig::describe() const {
       std::string(to_string(pattern)).c_str(),
       std::string(to_string(workload)).c_str(), mlp,
       static_cast<unsigned long long>(service_delay), request_length,
-      hotspot_fraction, offered_load, packet_length,
+      hotspot_fraction, read_fraction, offered_load, packet_length,
       flit_bits, tech_node, buffer_depth, num_vcs, fairness_threshold,
       stall_escape_delay, static_cast<unsigned long long>(warmup_cycles),
       static_cast<unsigned long long>(measure_cycles),
@@ -272,6 +282,9 @@ std::string apply_override(SimConfig& cfg, std::string_view arg) {
   } else if (key == "hotspot_fraction") {
     if (!parse_double(val, d)) return bad();
     cfg.hotspot_fraction = d;
+  } else if (key == "read_fraction") {
+    if (!parse_double(val, d)) return bad();
+    cfg.read_fraction = d;
   } else if (key == "load") {
     if (!parse_double(val, d)) return bad();
     cfg.offered_load = d;

@@ -82,6 +82,14 @@ struct SimConfig {
   /// Fraction of requests aimed at the four mesh-center hotspot nodes
   /// instead of a uniformly random destination.
   double hotspot_fraction = 0.0;
+  /// Coherence-shaped client mix: fraction of transactions that are
+  /// reads (short request -> long data reply).  The remainder are
+  /// writes: a long data-carrying request, a short ack reply, and a
+  /// fire-and-forget writeback packet (MsgClass::Writeback — the
+  /// evicted victim line) to an independent destination.  1.0 (the
+  /// default) draws no extra RNG samples, so pure-read runs are
+  /// bit-identical to the pre-knob behaviour.
+  double read_fraction = 1.0;
 
   // --- phases -----------------------------------------------------------
   Cycle warmup_cycles = 1000;
@@ -143,7 +151,8 @@ std::string apply_override(SimConfig& cfg, std::string_view arg);
 std::string apply_overrides(SimConfig& cfg, std::span<const char* const> args);
 
 /// Parses a design name ("bless", "scarab", "buffered4", "buffered8",
-/// "dxbar", "unified"); returns true on success.
+/// "dxbar", "unified", "vc", "afc", "damq", "minbd"); returns true on
+/// success.
 bool parse_design(std::string_view name, RouterDesign& out);
 
 /// Parses a routing algorithm name ("dor" or "wf").

@@ -437,6 +437,11 @@ void json_config(JsonWriter& w, const SimConfig& cfg) {
     w.key("service_delay").value(static_cast<std::uint64_t>(cfg.service_delay));
     w.key("request_length").value(cfg.request_length);
     w.key("hotspot_fraction").value(cfg.hotspot_fraction);
+    // Written only off the pure-read default, so pre-coherence-mix
+    // closed-loop corpora stay byte-identical.
+    if (cfg.read_fraction != 1.0) {
+      w.key("read_fraction").value(cfg.read_fraction);
+    }
   }
   w.end_object();
 }
@@ -465,6 +470,12 @@ void json_run_stats(JsonWriter& w, const RunStats& s) {
   w.key("energy_crossbar_nj").value(s.energy_crossbar_nj);
   w.key("energy_link_nj").value(s.energy_link_nj);
   w.key("energy_control_nj").value(s.energy_control_nj);
+  // Leakage rides its own optional column (dynamic-only totals are what
+  // Table III pins); zero only when the window is empty, in which case
+  // omitting it keeps legacy documents byte-identical.
+  if (s.energy_leakage_nj != 0.0) {
+    w.key("energy_leakage_nj").value(s.energy_leakage_nj);
+  }
   w.key("energy_per_packet_nj").value(s.energy_per_packet_nj());
   // Request-level (closed-loop) block: omitted when no requests
   // completed, which keeps open-loop documents byte-identical.

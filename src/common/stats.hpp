@@ -47,6 +47,13 @@ struct RunStats {
   double energy_crossbar_nj = 0.0;
   double energy_link_nj = 0.0;
   double energy_control_nj = 0.0;  ///< NACK network, retransmission control
+  /// Static (leakage) energy over the measurement window: router area
+  /// times the node's leakage density times the window's wall time.
+  /// Deliberately EXCLUDED from total_energy_nj — the paper's Table III
+  /// numbers are dynamic-only, so the pinned 65 nm energies and every
+  /// derived per-flit/per-packet metric stay untouched.  Reported as
+  /// its own column where leakage matters (the smaller tech nodes).
+  double energy_leakage_nj = 0.0;
   // Closed-loop request-reply latency (cycles, request inject -> reply
   // eject), filled by ClosedLoopWorkload::fill_run_stats; all zero for
   // open-loop runs.

@@ -83,6 +83,10 @@ enum class RouterDesign : std::uint8_t {
   UnifiedXbar,  ///< proposed dual-input single-crossbar router
   BufferedVC,   ///< extension: VC router w/ speculative SA (Fig 2(c) style)
   Afc,          ///< extension: adaptive bufferless/buffered switching [AFC]
+  Damq,         ///< extension: shared-buffer DAMQ router (one slot pool
+                ///< dynamically allocated across inputs) [Tamir & Frazier]
+  MinBD,        ///< extension: minimally-buffered deflection (side buffer
+                ///< + golden-flit escape) [Fallin et al.]
 };
 
 constexpr std::string_view to_string(RouterDesign d) noexcept {
@@ -95,6 +99,8 @@ constexpr std::string_view to_string(RouterDesign d) noexcept {
     case RouterDesign::UnifiedXbar: return "Unified Xbar";
     case RouterDesign::BufferedVC: return "Buffered VC";
     case RouterDesign::Afc: return "AFC";
+    case RouterDesign::Damq: return "DAMQ";
+    case RouterDesign::MinBD: return "minBD";
   }
   return "?";
 }
@@ -140,16 +146,21 @@ constexpr std::string_view to_string(TrafficPattern p) noexcept {
 /// must never be blocked behind requests — they ride a reserved VC
 /// partition on buffered-VC designs and win age-arbitration ties on
 /// every other design — so request-reply dependency cycles cannot
-/// protocol-deadlock (DESIGN.md section 12).
+/// protocol-deadlock (DESIGN.md section 12).  Writebacks (coherence-mix
+/// evictions) are terminal fire-and-forget messages: nothing downstream
+/// ever waits on one, so giving them the highest class priority can
+/// only shorten dependency chains, never close a cycle.
 enum class MsgClass : std::uint8_t {
   Request = 0,
   Reply = 1,
+  Writeback = 2,
 };
 
 constexpr std::string_view to_string(MsgClass c) noexcept {
   switch (c) {
     case MsgClass::Request: return "req";
     case MsgClass::Reply: return "rep";
+    case MsgClass::Writeback: return "wb";
   }
   return "?";
 }

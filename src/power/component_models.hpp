@@ -148,6 +148,97 @@ class LinkModel {
   TechParams t_;
 };
 
+/// Bits needed to index `n` entries (next-pointer width of a linked-list
+/// buffer organisation); n <= 1 needs no pointer.
+[[nodiscard]] constexpr int index_bits(int n) noexcept {
+  int b = 0;
+  for (int v = n - 1; v > 0; v >>= 1) ++b;
+  return b;
+}
+
+/// DAMQ shared buffer: one `slots`-deep pool whose entries are chained
+/// into per-input linked lists (Tamir & Frazier's organisation).  Every
+/// slot stores the flit plus a next-pointer of index_bits(slots) bits,
+/// and every access drives bitlines spanning the whole pool — that is
+/// the energy price of sharing relative to four private FIFOs of
+/// slots/4 entries.  The free list and the per-queue head/tail pointer
+/// registers add a small register-file footprint on top.
+class DamqBufferModel {
+ public:
+  DamqBufferModel(int num_queues, int slots, int bits,
+                  const TechParams& t) noexcept
+      : num_queues_(num_queues),
+        slots_(slots),
+        word_bits_(bits + index_bits(slots)),
+        t_(t) {}
+
+  /// Pointer overhead per stored entry (bits).
+  [[nodiscard]] int pointer_bits() const noexcept {
+    return index_bits(slots_);
+  }
+
+  [[nodiscard]] double write_pj() const noexcept {
+    return switch_pj(word_bits_,
+                     t_.cell_write_cap_ff +
+                         static_cast<double>(slots_) * t_.bitline_write_cap_ff,
+                     t_);
+  }
+  [[nodiscard]] double read_pj() const noexcept {
+    return switch_pj(word_bits_,
+                     t_.cell_read_cap_ff +
+                         static_cast<double>(slots_) * t_.bitline_read_cap_ff,
+                     t_);
+  }
+  [[nodiscard]] double area_mm2() const noexcept {
+    // Pool storage (flit + pointer per slot) plus head/tail pointer
+    // registers per logical queue and one free-list head register.
+    const int regs = (2 * num_queues_ + 1) * index_bits(slots_);
+    return (static_cast<double>(slots_) * word_bits_ +
+            static_cast<double>(regs)) *
+           t_.cell_area_um2 * 1e-6;
+  }
+
+ private:
+  int num_queues_;
+  int slots_;
+  int word_bits_;  ///< flit bits + next-pointer bits
+  TechParams t_;
+};
+
+/// MinBD's side buffer: one small FIFO shared by the whole router plus
+/// the redirection mux that taps it into the input pipeline — one
+/// transmission gate per bit per input port, charged on every access
+/// (capture steers a pipeline flit in, redirection steers a stored flit
+/// past the link inputs) and counted in the footprint.
+class SideBufferModel {
+ public:
+  SideBufferModel(int depth, int bits, int num_ports,
+                  const TechParams& t) noexcept
+      : fifo_(1, depth, bits, t), bits_(bits), num_ports_(num_ports), t_(t) {}
+
+  [[nodiscard]] double mux_pj() const noexcept {
+    return switch_pj(bits_,
+                     2.0 * static_cast<double>(num_ports_) * t_.tgate_cap_ff,
+                     t_);
+  }
+  [[nodiscard]] double write_pj() const noexcept {
+    return fifo_.write_pj() + mux_pj();
+  }
+  [[nodiscard]] double read_pj() const noexcept {
+    return fifo_.read_pj() + mux_pj();
+  }
+  [[nodiscard]] double area_mm2() const noexcept {
+    return fifo_.area_mm2() + static_cast<double>(num_ports_) * bits_ *
+                                  t_.tgate_area_um2 * 1e-6;
+  }
+
+ private:
+  FifoBufferModel fifo_;
+  int bits_;
+  int num_ports_;
+  TechParams t_;
+};
+
 /// SCARAB's dedicated NACK network: a 1-bit circuit-switched wire per
 /// hop plus the switch-control logic it drags along.
 class NackLinkModel {

@@ -28,15 +28,30 @@ EnergyParams derive_energy_params(const SimConfig& cfg) {
   }
   p.link_pj = LinkModel(bits, t).traversal_pj();
 
-  // Buffered 8 keeps two buffer_depth-deep FIFOs per input behind one
-  // access port: the shared bitline spans both, so accesses pay the
-  // doubled-depth bitline capacitance.
-  const int access_depth = cfg.design == RouterDesign::Buffered8
-                               ? 2 * cfg.buffer_depth
-                               : cfg.buffer_depth;
-  const FifoBufferModel fifo(kNumLinkDirs, access_depth, bits, t);
-  p.buffer_write_pj = fifo.write_pj();
-  p.buffer_read_pj = fifo.read_pj();
+  if (cfg.design == RouterDesign::Damq) {
+    // Shared-pool accesses span the whole pool's bitlines and carry the
+    // linked-list pointer word alongside every flit.
+    const DamqBufferModel pool(kNumLinkDirs, kNumLinkDirs * cfg.buffer_depth,
+                               bits, t);
+    p.buffer_write_pj = pool.write_pj();
+    p.buffer_read_pj = pool.read_pj();
+  } else if (cfg.design == RouterDesign::MinBD) {
+    // Captures/redirections pay the side FIFO plus the redirection mux
+    // that steers flits past the four link inputs.
+    const SideBufferModel side(cfg.buffer_depth, bits, kNumLinkDirs, t);
+    p.buffer_write_pj = side.write_pj();
+    p.buffer_read_pj = side.read_pj();
+  } else {
+    // Buffered 8 keeps two buffer_depth-deep FIFOs per input behind one
+    // access port: the shared bitline spans both, so accesses pay the
+    // doubled-depth bitline capacitance.
+    const int access_depth = cfg.design == RouterDesign::Buffered8
+                                 ? 2 * cfg.buffer_depth
+                                 : cfg.buffer_depth;
+    const FifoBufferModel fifo(kNumLinkDirs, access_depth, bits, t);
+    p.buffer_write_pj = fifo.write_pj();
+    p.buffer_read_pj = fifo.read_pj();
+  }
   p.nack_hop_pj = NackLinkModel(t).hop_pj();
   return p;
 }
@@ -52,6 +67,11 @@ AreaParams derive_area_params(const SimConfig& cfg) {
       SegmentedCrossbarModel(radix, radix, bits, radix, t).area_mm2();
   a.buffer_bank_mm2 =
       FifoBufferModel(kNumLinkDirs, cfg.buffer_depth, bits, t).area_mm2();
+  a.damq_buffer_mm2 =
+      DamqBufferModel(kNumLinkDirs, kNumLinkDirs * cfg.buffer_depth, bits, t)
+          .area_mm2();
+  a.side_buffer_mm2 =
+      SideBufferModel(cfg.buffer_depth, bits, kNumLinkDirs, t).area_mm2();
   a.links_mm2 = static_cast<double>(kNumLinkDirs) *
                 LinkModel(bits, t).area_mm2();
   a.nack_logic_mm2 = NackLinkModel(t).area_mm2();
@@ -81,8 +101,29 @@ double router_area_mm2(RouterDesign design, const AreaParams& p) {
       // Buffered 4 storage plus the mode-switching control logic.
       return p.crossbar_mm2 + p.buffer_bank_mm2 + p.links_mm2 +
              p.nack_logic_mm2;
+    case RouterDesign::Damq:
+      // Buffered-4 crossbar with the shared pool (pointer overhead
+      // included) in place of the private FIFO bank.
+      return p.crossbar_mm2 + p.damq_buffer_mm2 + p.links_mm2;
+    case RouterDesign::MinBD:
+      // Bufferless substrate plus the side buffer and its mux.
+      return p.crossbar_mm2 + p.side_buffer_mm2 + p.links_mm2;
   }
   return 0.0;
+}
+
+double router_leakage_mw(const SimConfig& cfg) {
+  const TechParams t = TechParams::node(cfg.tech_node);
+  return router_area_mm2(cfg.design, derive_area_params(cfg)) *
+         t.leakage_mw_per_mm2;
+}
+
+double network_leakage_nj(const SimConfig& cfg, Cycle cycles) {
+  const TechParams t = TechParams::node(cfg.tech_node);
+  // mW * ns = pJ; one cycle is 1/freq_ghz ns at the nominal clock.
+  const double ns = static_cast<double>(cycles) / t.freq_ghz;
+  return static_cast<double>(cfg.num_nodes()) * router_leakage_mw(cfg) * ns *
+         1e-3;
 }
 
 }  // namespace dxbar

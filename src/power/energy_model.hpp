@@ -35,6 +35,8 @@ struct AreaParams {
   double crossbar_mm2 = 0.0;          ///< one matrix crossbar
   double unified_crossbar_mm2 = 0.0;  ///< matrix + transmission gates
   double buffer_bank_mm2 = 0.0;       ///< the input FIFO bank
+  double damq_buffer_mm2 = 0.0;       ///< DAMQ shared pool + pointers
+  double side_buffer_mm2 = 0.0;       ///< minBD side buffer + redir mux
   double links_mm2 = 0.0;             ///< four input links
   double nack_logic_mm2 = 0.0;        ///< SCARAB NACK circuit switch
 };
@@ -57,6 +59,16 @@ struct AreaParams {
 /// Total per-router area for a design (paper Table III column 1).
 [[nodiscard]] double router_area_mm2(RouterDesign design,
                                      const AreaParams& p);
+
+/// Static power one router of cfg.design burns: its composed area times
+/// the node's leakage density (TechParams::leakage_mw_per_mm2).
+[[nodiscard]] double router_leakage_mw(const SimConfig& cfg);
+
+/// Static energy the whole network leaks over `cycles` router cycles at
+/// the node's nominal clock, in nJ.  Reported as the *separate*
+/// RunStats::energy_leakage_nj column — never folded into the dynamic
+/// totals the paper's Table III pins at 65 nm.
+[[nodiscard]] double network_leakage_nj(const SimConfig& cfg, Cycle cycles);
 
 /// Critical-path timing reported by the paper (ns; both < 1 ns cycle).
 struct TimingParams {

@@ -9,7 +9,8 @@ namespace {
 /// wire capacitance improves only mildly (global wires do not scale
 /// like devices — the classic interconnect-scaling problem).
 TechParams scaled(int nm, double vdd, double freq_ghz,
-                  double xbar_wire_cap_ff_mm, double link_wire_cap_ff_mm) {
+                  double xbar_wire_cap_ff_mm, double link_wire_cap_ff_mm,
+                  double leakage_mw_per_mm2) {
   TechParams t;  // 65 nm calibration
   const double s = static_cast<double>(nm) / static_cast<double>(t.node_nm);
   t.node_nm = nm;
@@ -17,6 +18,10 @@ TechParams scaled(int nm, double vdd, double freq_ghz,
   t.freq_ghz = freq_ghz;
   t.xbar_wire_cap_ff_mm = xbar_wire_cap_ff_mm;
   t.link_wire_cap_ff_mm = link_wire_cap_ff_mm;
+  // Leakage density does not follow constant-field scaling — it is set
+  // per node (subthreshold leakage worsens into late planar nodes, then
+  // FinFETs pull it back down).
+  t.leakage_mw_per_mm2 = leakage_mw_per_mm2;
   t.xbar_pitch_um *= s;
   t.link_length_mm *= s;
   t.connector_cap_ff *= s;
@@ -42,11 +47,13 @@ TechParams TechParams::node(int nm) {
     case 32:
       return scaled(32, /*vdd=*/0.9, /*freq_ghz=*/1.5,
                     /*xbar_wire_cap_ff_mm=*/230.0,
-                    /*link_wire_cap_ff_mm=*/460.0);
+                    /*link_wire_cap_ff_mm=*/460.0,
+                    /*leakage_mw_per_mm2=*/140.0);
     case 16:
       return scaled(16, /*vdd=*/0.8, /*freq_ghz=*/2.0,
                     /*xbar_wire_cap_ff_mm=*/210.0,
-                    /*link_wire_cap_ff_mm=*/420.0);
+                    /*link_wire_cap_ff_mm=*/420.0,
+                    /*leakage_mw_per_mm2=*/60.0);
     case 65:
     default:
       return TechParams{};

@@ -50,6 +50,15 @@ struct TechParams {
   double nack_ctrl_cap_ff = 4875.0;  ///< NACK circuit-switch control
                                      ///< (effective cap per hop event)
 
+  // --- leakage ---------------------------------------------------------
+  /// Static power density (mW per mm^2 of router logic at nominal Vdd
+  /// and temperature).  ITRS-flavoured trajectory: leakage worsens into
+  /// late planar nodes (32 nm) and drops again when FinFETs restore
+  /// electrostatic control (16 nm).  Feeds the *separate* leakage
+  /// column (RunStats::energy_leakage_nj) — the dynamic-only totals
+  /// that Table III pins stay untouched.
+  double leakage_mw_per_mm2 = 80.0;
+
   // --- unit areas ------------------------------------------------------
   double cell_area_um2 = 8.252;        ///< FIFO storage, per bit
   double tgate_area_um2 = 10.47;       ///< one transmission gate

@@ -78,7 +78,7 @@ bool design_from_string(std::string_view s, RouterDesign& out) {
        {RouterDesign::FlitBless, RouterDesign::Scarab, RouterDesign::Buffered4,
         RouterDesign::Buffered8, RouterDesign::DXbar,
         RouterDesign::UnifiedXbar, RouterDesign::BufferedVC,
-        RouterDesign::Afc}) {
+        RouterDesign::Afc, RouterDesign::Damq, RouterDesign::MinBD}) {
     if (to_string(d) == s) {
       out = d;
       return true;
@@ -319,6 +319,7 @@ void read_config(const JsonValue& v, const std::string& path, SimConfig& cfg,
   cfg.service_delay = service_delay;
   r.opt_integer("request_length", cfg.request_length);
   r.opt_number("hotspot_fraction", cfg.hotspot_fraction);
+  r.opt_number("read_fraction", cfg.read_fraction);
   r.finish();
 }
 
@@ -347,6 +348,9 @@ void read_stats(const JsonValue& v, const std::string& path, RunStats& s,
   r.number("energy_crossbar_nj", s.energy_crossbar_nj);
   r.number("energy_link_nj", s.energy_link_nj);
   r.number("energy_control_nj", s.energy_control_nj);
+  // Separate static-power column, absent from pre-leakage corpora and
+  // from empty-window documents.
+  r.opt_number("energy_leakage_nj", s.energy_leakage_nj);
   // Derived at write time from the fields above; its presence is part
   // of the schema but the stored value is not load-bearing.
   double derived = 0.0;

@@ -1,0 +1,174 @@
+#include "router/damq_router.hpp"
+
+#include <cassert>
+
+namespace dxbar {
+
+DamqRouter::DamqRouter(NodeId id, const RouterEnv& env)
+    : Router(id, env),
+      depth_(env.cfg->buffer_depth),
+      pool_(kNumLinkDirs * env.cfg->buffer_depth),
+      queues_{FixedQueue<Entry>(static_cast<std::size_t>(pool_)),
+              FixedQueue<Entry>(static_cast<std::size_t>(pool_)),
+              FixedQueue<Entry>(static_cast<std::size_t>(pool_)),
+              FixedQueue<Entry>(static_cast<std::size_t>(pool_))},
+      allocator_(kNumPorts, kNumPorts) {
+  int live_ports = 0;
+  for (int d = 0; d < kNumLinkDirs; ++d) {
+    if (live(d)) ++live_ports;
+  }
+  shared_ = pool_ - live_ports * window();
+  // Seed the initial credit distribution: channels are built with zero
+  // credits for this design, so everything the upstream may ever hold
+  // flows through the same grant path (posted here as pending credits,
+  // usable from cycle 0 after the first channel advance).
+  grant_credits();
+}
+
+int DamqRouter::shared_used() const noexcept {
+  const int w = window();
+  int used = 0;
+  for (int d = 0; d < kNumLinkDirs; ++d) {
+    const int c = claim(d);
+    if (c > w) used += c - w;
+  }
+  return used;
+}
+
+bool DamqRouter::can_grant(int d) const noexcept {
+  if (!live(d)) return false;
+  // Outstanding credits never exceed the private window, so an idle
+  // upstream can park credits only in its own reservation — the shared
+  // region is filled exclusively by queued flits (real demand).
+  if (outstanding_[static_cast<std::size_t>(d)] >= window()) return false;
+  // Claims inside the private region are always grantable; beyond it
+  // the grant lands in the shared region while that has room.
+  return claim(d) < window() || shared_used() < shared_;
+}
+
+void DamqRouter::grant_credits() {
+  // Fixpoint sweep, at most one grant per port per pass so a low pool
+  // is split round-robin instead of handed wholesale to the first port.
+  bool granted = true;
+  while (granted) {
+    granted = false;
+    for (int k = 0; k < kNumLinkDirs; ++k) {
+      const int d = (grant_rr_ + k) % kNumLinkDirs;
+      if (!can_grant(d)) continue;
+      env_.in_links[static_cast<std::size_t>(d)]->return_credit();
+      ++outstanding_[static_cast<std::size_t>(d)];
+      granted = true;
+    }
+  }
+  grant_rr_ = (grant_rr_ + 1) % kNumLinkDirs;
+}
+
+void DamqRouter::step(Cycle now) {
+  // Same 3-stage pipeline and 5x5 separable allocation as the buffered
+  // baseline (RC / SA-ST / LT): heads of the four logical FIFOs plus
+  // the injection front bid for output ports; arrivals written this
+  // cycle become eligible the next.
+  const int inj_input = kNumLinkDirs;
+
+  auto request_mask_for = [&](const Flit& f) {
+    std::uint32_t mask = 0;
+    for (Direction d : routes(f.dst)) {
+      if (d == Direction::Local || can_send(d)) {
+        mask |= 1u << port_index(d);
+      }
+    }
+    return mask;
+  };
+
+  std::vector<std::uint32_t> requests(kNumPorts, 0);
+  for (int d = 0; d < kNumLinkDirs; ++d) {
+    const auto& q = queues_[static_cast<std::size_t>(d)];
+    if (!q.empty() && now >= q.front().ready) {
+      requests[static_cast<std::size_t>(d)] = request_mask_for(q.front().flit);
+    }
+  }
+  if (source != nullptr && !source->empty()) {
+    requests[static_cast<std::size_t>(inj_input)] =
+        request_mask_for(source->front());
+  }
+
+  const std::vector<int> grants = allocator_.allocate(requests);
+  for (int i = 0; i < kNumPorts; ++i) {
+    const int out = grants[static_cast<std::size_t>(i)];
+    if (out < 0) continue;
+    const Direction out_dir = port_from_index(out);
+
+    Flit f;
+    if (i == inj_input) {
+      f = source->pop_front();
+    } else {
+      f = queues_[static_cast<std::size_t>(i)].pop().flit;
+      env_.energy->buffer_read();
+    }
+    env_.energy->crossbar_traversal();
+    if (out_dir == Direction::Local) {
+      eject(f);
+    } else {
+      send_link(out_dir, f);
+    }
+  }
+
+  // Arrivals consume the credits they were granted against; the slot
+  // guarantee is the accounting invariant, not per-queue headroom.
+  for (int d = 0; d < kNumLinkDirs; ++d) {
+    auto& arrival = in[static_cast<std::size_t>(d)];
+    if (!arrival.has_value()) continue;
+    assert(outstanding_[static_cast<std::size_t>(d)] > 0 &&
+           "DAMQ arrival without an outstanding credit");
+    --outstanding_[static_cast<std::size_t>(d)];
+    const bool ok = queues_[static_cast<std::size_t>(d)].push(
+        Entry{*arrival, now + 1});
+    assert(ok && "DAMQ grant accounting must prevent pool overflow");
+    (void)ok;
+    env_.energy->buffer_write();
+    arrival.reset();
+  }
+
+  // Re-grant freed slots (and any shared headroom arrivals opened up).
+  grant_credits();
+
+#ifndef NDEBUG
+  int committed = 0;
+  for (int d = 0; d < kNumLinkDirs; ++d) committed += claim(d);
+  assert(committed <= pool_ && "DAMQ claim total exceeds the pool");
+#endif
+}
+
+int DamqRouter::occupancy() const {
+  int n = 0;
+  for (const auto& q : queues_) n += static_cast<int>(q.size());
+  return n;
+}
+
+void DamqRouter::save_state(SnapshotWriter& w) const {
+  for (const auto& q : queues_) {
+    save_fixed_queue(w, q, [](SnapshotWriter& sw, const Entry& e) {
+      save_flit(sw, e.flit);
+      sw.u64(e.ready);
+    });
+  }
+  for (int o : outstanding_) w.i32(o);
+  w.i32(grant_rr_);
+  allocator_.save(w);
+}
+
+void DamqRouter::load_state(SnapshotReader& r) {
+  for (auto& q : queues_) {
+    load_fixed_queue(r, q, [](SnapshotReader& sr) {
+      Entry e;
+      e.flit = load_flit(sr);
+      e.ready = sr.u64();
+      return e;
+    });
+  }
+  for (int& o : outstanding_) o = r.i32();
+  grant_rr_ = r.i32();
+  allocator_.load(r);
+}
+
+}  // namespace dxbar

@@ -3,7 +3,9 @@
 #include "router/afc_router.hpp"
 #include "router/bless_router.hpp"
 #include "router/buffered_router.hpp"
+#include "router/damq_router.hpp"
 #include "router/dxbar_router.hpp"
+#include "router/minbd_router.hpp"
 #include "router/scarab_router.hpp"
 #include "router/unified_router.hpp"
 #include "router/vc_router.hpp"
@@ -29,6 +31,10 @@ std::unique_ptr<Router> make_router(NodeId id, const RouterEnv& env) {
       return std::make_unique<VcRouter>(id, env);
     case RouterDesign::Afc:
       return std::make_unique<AfcRouter>(id, env);
+    case RouterDesign::Damq:
+      return std::make_unique<DamqRouter>(id, env);
+    case RouterDesign::MinBD:
+      return std::make_unique<MinBDRouter>(id, env);
   }
   return nullptr;
 }
@@ -54,8 +60,43 @@ int link_credits_for(RouterDesign design, int buffer_depth) {
     case RouterDesign::Afc:
       // AFC accepts every arrival (deflection fallback in buffered mode).
       return kUnlimitedCredits;
+    case RouterDesign::Damq:
+      // The shared-pool router is the sole credit allocator: channels
+      // start empty and every usable credit is granted at runtime by
+      // DamqRouter::grant_credits over the same Channel machinery.
+      return 0;
+    case RouterDesign::MinBD:
+      // Deflection substrate — arrivals are always absorbed.
+      return kUnlimitedCredits;
   }
   return kUnlimitedCredits;
+}
+
+int buffer_slots_per_node(RouterDesign design, int buffer_depth) {
+  switch (design) {
+    case RouterDesign::FlitBless:
+    case RouterDesign::Scarab:
+      return 0;
+    case RouterDesign::Buffered4:
+    case RouterDesign::BufferedVC:
+    case RouterDesign::Afc:
+      return kNumLinkDirs * buffer_depth;
+    case RouterDesign::Buffered8:
+      return kNumLinkDirs * 2 * buffer_depth;
+    case RouterDesign::DXbar:
+    case RouterDesign::UnifiedXbar:
+      // One secondary-side FIFO per input; the primary crossbar path is
+      // bufferless.
+      return kNumLinkDirs * buffer_depth;
+    case RouterDesign::Damq:
+      // The pool is exactly the Buffered-4-equivalent storage, shared.
+      return kNumLinkDirs * buffer_depth;
+    case RouterDesign::MinBD:
+      // The side buffer is the *only* storage, so at an equal-budget
+      // comparison minBD takes buffer_depth = budget directly.
+      return buffer_depth;
+  }
+  return 0;
 }
 
 }  // namespace dxbar

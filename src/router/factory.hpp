@@ -15,4 +15,11 @@ std::unique_ptr<Router> make_router(NodeId id, const RouterEnv& env);
 /// designs, which never exert backpressure.
 int link_credits_for(RouterDesign design, int buffer_depth);
 
+/// Total flit storage one router of this design provisions, in slots —
+/// the quantity held constant across designs by the equal-buffer-budget
+/// shootout (bench/experiments/table_router_zoo.cpp).  Bufferless
+/// designs hold zero; minBD's side buffer is its only storage, so its
+/// buffer_depth *is* the whole per-node budget.
+int buffer_slots_per_node(RouterDesign design, int buffer_depth);
+
 }  // namespace dxbar

@@ -1,0 +1,122 @@
+#include "router/minbd_router.hpp"
+
+#include <cassert>
+
+#include "routing/deflect.hpp"
+
+namespace dxbar {
+
+MinBDRouter::MinBDRouter(NodeId id, const RouterEnv& env)
+    : Router(id, env),
+      side_(static_cast<std::size_t>(env.cfg->buffer_depth)) {
+  degree_ = 0;
+  for (Direction d : kLinkDirs) {
+    if (env_.out_links[port_index(d)] != nullptr) ++degree_;
+  }
+}
+
+void MinBDRouter::step(Cycle now) {
+  // ---- gather this cycle's flits ---------------------------------------
+  SmallVec<Flit, kNumPorts> flits;
+  int incoming = 0;
+  for (int d = 0; d < kNumLinkDirs; ++d) {
+    auto& arrival = in[static_cast<std::size_t>(d)];
+    if (arrival.has_value()) {
+      flits.push_back(*arrival);
+      arrival.reset();
+      ++incoming;
+    }
+  }
+
+  // ---- redirection: one side-buffered flit re-enters the pipeline ------
+  // Remember which flit was redirected so the capture stage below cannot
+  // bounce it straight back in the same cycle (that would be a storage
+  // livelock, not progress).
+  PacketId redirected_pkt = ~PacketId{0};
+  std::uint32_t redirected_seq = 0;
+  if (!side_.empty() && incoming < degree_) {
+    const Flit f = side_.pop();
+    env_.energy->buffer_read();
+    redirected_pkt = f.packet;
+    redirected_seq = f.seq;
+    flits.push_back(f);
+    ++incoming;
+  }
+
+  // Inject only when an input slot is free, exactly like Flit-Bless: the
+  // assignment invariant (#flits <= degree, at most one takes Local)
+  // then always finds every non-captured flit a port.
+  if (source != nullptr && !source->empty() && incoming < degree_) {
+    flits.push_back(source->pop_front());
+  }
+  if (flits.empty()) return;
+
+  // ---- golden-first, then oldest-first port assignment ------------------
+  insertion_sort(flits, [now](const Flit& a, const Flit& b) {
+    const bool ga = is_golden(a, now);
+    const bool gb = is_golden(b, now);
+    if (ga != gb) return ga;
+    return a.older_than(b);
+  });
+
+  bool local_taken = false;
+  bool captured = false;
+  std::array<bool, kNumLinkDirs> link_taken{};
+  for (Flit& f : flits) {
+    env_.energy->crossbar_traversal();
+
+    if (f.dst == id_ && !local_taken) {
+      local_taken = true;
+      eject(f);
+      continue;
+    }
+
+    const auto ranking =
+        deflection_order(f, f.packet * 0x9E3779B97F4A7C15ULL + now);
+    bool assigned = false;
+    for (Direction d : ranking) {
+      const int di = port_index(d);
+      if (link_taken[static_cast<std::size_t>(di)]) continue;
+      if (!link_alive(d)) continue;
+
+      // Buffer capture: a flit about to take a *non-productive* port is
+      // parked in the side buffer instead (one per cycle, never golden,
+      // never the flit just redirected).  The port it would have taken
+      // stays free for later flits in the sort order.
+      if (!progressive_dirs(f.dst).contains(d)) {
+        if (!captured && !side_.full() && !is_golden(f, now) &&
+            !(f.packet == redirected_pkt && f.seq == redirected_seq)) {
+          captured = true;
+          side_.push(f);
+          env_.energy->buffer_write();
+          assigned = true;
+          break;
+        }
+        ++f.deflections;
+      }
+      link_taken[static_cast<std::size_t>(di)] = true;
+      send_link(d, f);
+      assigned = true;
+      break;
+    }
+    assert(assigned && "MinBD invariant: every flit gets a port or the buffer");
+    (void)assigned;
+  }
+}
+
+int MinBDRouter::occupancy() const {
+  return static_cast<int>(side_.size());
+}
+
+void MinBDRouter::save_state(SnapshotWriter& w) const {
+  save_fixed_queue(w, side_, [](SnapshotWriter& sw, const Flit& f) {
+    save_flit(sw, f);
+  });
+}
+
+void MinBDRouter::load_state(SnapshotReader& r) {
+  load_fixed_queue(r, side_,
+                   [](SnapshotReader& sr) { return load_flit(sr); });
+}
+
+}  // namespace dxbar

@@ -246,6 +246,7 @@ CampaignStatus Campaign::run(std::uint64_t cycle_budget) {
     out.energy_crossbar_nj = net->energy().crossbar_nj();
     out.energy_link_nj = net->energy().link_nj();
     out.energy_control_nj = net->energy().control_nj();
+    out.energy_leakage_nj = network_leakage_nj(cfg, out.cycles);
     workload->fill_run_stats(out);
 
     // Persist the result BEFORE dropping the checkpoint: a crash between

@@ -7,7 +7,9 @@
 #include "router/afc_router.hpp"
 #include "router/bless_router.hpp"
 #include "router/buffered_router.hpp"
+#include "router/damq_router.hpp"
 #include "router/dxbar_router.hpp"
+#include "router/minbd_router.hpp"
 #include "router/scarab_router.hpp"
 #include "router/unified_router.hpp"
 #include "router/vc_router.hpp"
@@ -309,6 +311,12 @@ void Network::step_routers_shard(int shard) {
     case RouterDesign::Afc:
       step_range<AfcRouter>(routers_, b, e, now_);
       return;
+    case RouterDesign::Damq:
+      step_range<DamqRouter>(routers_, b, e, now_);
+      return;
+    case RouterDesign::MinBD:
+      step_range<MinBDRouter>(routers_, b, e, now_);
+      return;
   }
   for (NodeId i = b; i < e; ++i) routers_[i]->step(now_);  // unreachable
 }
@@ -512,6 +520,12 @@ void Network::step_lanes(Network* const* lanes, std::size_t n) {
       break;
     case RouterDesign::DXbar:
       step_routers_node_major<DXbarRouter>(routers, nows, n, num_nodes);
+      break;
+    case RouterDesign::Damq:
+      step_routers_node_major<DamqRouter>(routers, nows, n, num_nodes);
+      break;
+    case RouterDesign::MinBD:
+      step_routers_node_major<MinBDRouter>(routers, nows, n, num_nodes);
       break;
     default:
       step_routers_node_major_virtual(routers, nows, n, num_nodes);

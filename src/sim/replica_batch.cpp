@@ -92,6 +92,7 @@ struct ReplicaBatch::Lane {
     stats.energy_crossbar_nj = net.energy().crossbar_nj();
     stats.energy_link_nj = net.energy().link_nj();
     stats.energy_control_nj = net.energy().control_nj();
+    stats.energy_leakage_nj = network_leakage_nj(cfg, stats.cycles);
     workload->fill_run_stats(stats);
     packets = net.stats().window_packets();
     phase = Phase::Done;

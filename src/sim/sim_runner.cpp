@@ -43,6 +43,7 @@ RunStats finish_open_loop(Network& net, WorkloadModel& workload,
   out.energy_crossbar_nj = net.energy().crossbar_nj();
   out.energy_link_nj = net.energy().link_nj();
   out.energy_control_nj = net.energy().control_nj();
+  out.energy_leakage_nj = network_leakage_nj(cfg, out.cycles);
   workload.fill_run_stats(out);
   if (packets_out != nullptr) *packets_out = net.stats().window_packets();
   return out;

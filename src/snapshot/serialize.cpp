@@ -35,6 +35,8 @@ void save_run_stats(SnapshotWriter& w, const RunStats& s) {
   // Full request-latency histogram (sparse), added in snapshot
   // version 5 so replicated runs can pool tail quantiles.
   s.req_hist.save(w);
+  // Separate static-power column, added in snapshot version 6.
+  w.f64(s.energy_leakage_nj);
 }
 
 RunStats load_run_stats(SnapshotReader& r) {
@@ -72,6 +74,9 @@ RunStats load_run_stats(SnapshotReader& r) {
   // Pre-v5 streams carry the quantile summary only; the histogram
   // stays empty, which merges as "no samples".
   if (r.version() >= 5) s.req_hist.load(r);
+  // Pre-v6 streams are dynamic-only; zero means "not modelled", which
+  // matches how those runs were reported.
+  if (r.version() >= 6) s.energy_leakage_nj = r.f64();
   return s;
 }
 
@@ -110,6 +115,11 @@ void save_config(SnapshotWriter& w, const SimConfig& cfg) {
   // Technology node for the parametric energy model, added in snapshot
   // version 5.
   w.i32(cfg.tech_node);
+  // Coherence-mix read fraction, added in snapshot version 6.  Being
+  // part of the config bytes also feeds warmup_signature(), so two
+  // configs differing only in read_fraction never share a warm
+  // snapshot.
+  w.f64(cfg.read_fraction);
 }
 
 SimConfig load_config(SnapshotReader& r) {
@@ -153,6 +163,8 @@ SimConfig load_config(SnapshotReader& r) {
   // Pre-v5 streams were all recorded at the paper's 65 nm point, which
   // is the field's default.
   if (r.version() >= 5) cfg.tech_node = r.i32();
+  // Pre-v6 streams were all pure-read, the field's default.
+  if (r.version() >= 6) cfg.read_fraction = r.f64();
   return cfg;
 }
 

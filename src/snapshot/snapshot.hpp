@@ -41,7 +41,7 @@
 namespace dxbar {
 
 inline constexpr std::uint32_t kSnapshotMagic = 0x4E535844;  // "DXSN"
-inline constexpr std::uint16_t kSnapshotVersion = 5;  // 2: EnergyMeter
+inline constexpr std::uint16_t kSnapshotVersion = 6;  // 2: EnergyMeter
                                                       // stores event counts
                                                       // 3: SimConfig grows
                                                       // measure_seed
@@ -55,6 +55,13 @@ inline constexpr std::uint16_t kSnapshotVersion = 5;  // 2: EnergyMeter
                                                       // tech_node; RunStats
                                                       // grows the request
                                                       // latency histogram
+                                                      // 6: SimConfig grows
+                                                      // read_fraction;
+                                                      // RunStats grows
+                                                      // energy_leakage_nj;
+                                                      // closed-loop workload
+                                                      // grows the coherence
+                                                      // mix block
 inline constexpr std::uint16_t kSnapshotEndianMark = 0xFEFF;
 
 /// Builds a four-character section tag, e.g. section_tag("CHAN").

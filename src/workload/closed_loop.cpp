@@ -13,6 +13,7 @@ ClosedLoopWorkload::ClosedLoopWorkload(const SimConfig& cfg, const Mesh& mesh)
       request_length_(cfg.request_length),
       reply_length_(cfg.packet_length),
       hotspot_fraction_(cfg.hotspot_fraction),
+      read_fraction_(cfg.read_fraction),
       warmup_end_(cfg.warmup_cycles),
       window_end_(cfg.warmup_cycles + cfg.measure_cycles),
       measure_seed_(cfg.measure_seed),
@@ -55,7 +56,7 @@ void ClosedLoopWorkload::begin_cycle(Cycle now, Injector& inject) {
     const PendingReply p = pending_.front();
     pending_.pop_front();
     const PacketId id = inject.inject_packet(p.server, p.client,
-                                             reply_length_, now,
+                                             p.length, now,
                                              MsgClass::Reply);
     replies_.emplace(id, Txn{p.client, p.issued});
   }
@@ -67,11 +68,25 @@ void ClosedLoopWorkload::begin_cycle(Cycle now, Injector& inject) {
     while (outstanding_[src] < mlp_) {
       const NodeId dst = pick_destination(src);
       assert(dst != src);
-      const PacketId id = inject.inject_packet(src, dst, request_length_,
+      // The >= 1.0 short-circuit skips the bernoulli draw entirely, so
+      // pure-read runs replay the pre-coherence-mix RNG stream exactly.
+      const bool is_read =
+          read_fraction_ >= 1.0 || rng_.bernoulli(read_fraction_);
+      const int req_len = is_read ? request_length_ : reply_length_;
+      const PacketId id = inject.inject_packet(src, dst, req_len,
                                                now, MsgClass::Request);
       requests_.emplace(id, Txn{src, now});
       ++outstanding_[src];
       ++requests_issued_;
+      if (!is_read) {
+        // The write evicts a victim line: a fire-and-forget data packet
+        // to an independent destination, holding no MSHR — terminal, so
+        // it cannot extend any dependency cycle.
+        const NodeId wb_dst = pick_destination(src);
+        inject.inject_packet(src, wb_dst, reply_length_, now,
+                             MsgClass::Writeback);
+        ++writebacks_issued_;
+      }
     }
   }
 }
@@ -91,10 +106,17 @@ void ClosedLoopWorkload::on_packet_delivered(const PacketRecord& rec,
   if (static_cast<MsgClass>(rec.cls) == MsgClass::Request) {
     const auto it = requests_.find(rec.id);
     if (it == requests_.end()) return;  // not ours (mixed workloads)
+    // Reply length is inferred from the request's shape: a short (read)
+    // request is answered with the data line, a long (write) request
+    // with a short ack.  When the two lengths coincide the inference is
+    // vacuous — both replies are the same size.
+    const int reply_len =
+        rec.length == request_length_ ? reply_length_ : request_length_;
     pending_.push_back(PendingReply{now + service_delay_, rec.dst,
-                                    it->second.client, it->second.issued});
+                                    it->second.client, it->second.issued,
+                                    reply_len});
     requests_.erase(it);
-  } else {
+  } else if (static_cast<MsgClass>(rec.cls) == MsgClass::Reply) {
     const auto it = replies_.find(rec.id);
     if (it == replies_.end()) return;
     record_reply(it->second, now);
@@ -144,8 +166,10 @@ void ClosedLoopWorkload::save_state(SnapshotWriter& w) const {
     w.u32(p.server);
     w.u32(p.client);
     w.u64(p.issued);
+    w.i32(p.length);  // added in snapshot version 6 (coherence mix)
   }
   hist_.save(w);
+  w.u64(writebacks_issued_);  // added in snapshot version 6
 }
 
 void ClosedLoopWorkload::load_state(SnapshotReader& r) {
@@ -184,9 +208,12 @@ void ClosedLoopWorkload::load_state(SnapshotReader& r) {
     p.server = r.u32();
     p.client = r.u32();
     p.issued = r.u64();
+    // Pre-v6 streams are pure-read: every reply carries the data line.
+    p.length = r.version() >= 6 ? r.i32() : reply_length_;
     pending_.push_back(p);
   }
   hist_.load(r);
+  if (r.version() >= 6) writebacks_issued_ = r.u64();
 }
 
 }  // namespace dxbar

@@ -16,6 +16,18 @@
 // the per-node MLP — so the request->reply dependency chain can always
 // drain and the classic request-reply protocol deadlock cannot form.
 //
+// Coherence-shaped mix (cfg.read_fraction < 1): a write transaction
+// swaps the packet roles — a long data-carrying request (packet_length
+// flits) answered by a short ack (request_length flits) — and evicts a
+// victim line as a fire-and-forget MsgClass::Writeback data packet to
+// an independent destination.  Writebacks are terminal (nothing waits
+// on them; top class priority only shortens dependency chains) and hold
+// no MSHR, so the deadlock argument above is unchanged.  The server
+// infers each reply's length from the request's length, so reads and
+// writes share one transaction path.  read_fraction = 1.0 draws no
+// extra RNG samples — pure-read runs are bit-identical to the
+// pre-coherence-mix behaviour.
+//
 // The model is windowed exactly like the open-loop workloads (warmup /
 // measure / drain; only requests issued inside the measurement window
 // are recorded), so it composes unchanged with warm-start sweeps,
@@ -59,6 +71,10 @@ class ClosedLoopWorkload final : public WorkloadModel {
   }
   /// Requests currently outstanding across all clients.
   [[nodiscard]] std::uint64_t outstanding_total() const noexcept;
+  /// Fire-and-forget writeback packets issued since construction.
+  [[nodiscard]] std::uint64_t writebacks_issued() const noexcept {
+    return writebacks_issued_;
+  }
   [[nodiscard]] const LatencyHistogram& histogram() const noexcept {
     return hist_;
   }
@@ -75,6 +91,7 @@ class ClosedLoopWorkload final : public WorkloadModel {
     NodeId server = kInvalidNode;
     NodeId client = kInvalidNode;
     Cycle issued = 0;
+    int length = 0;  ///< reply flits: data for a read, short ack for a write
   };
 
   [[nodiscard]] NodeId pick_destination(NodeId src);
@@ -86,6 +103,7 @@ class ClosedLoopWorkload final : public WorkloadModel {
   int request_length_;
   int reply_length_;
   double hotspot_fraction_;
+  double read_fraction_;
   Cycle warmup_end_;
   Cycle window_end_;
   std::uint64_t measure_seed_;
@@ -100,6 +118,7 @@ class ClosedLoopWorkload final : public WorkloadModel {
   LatencyHistogram hist_;                 ///< window-gated by issue cycle
   std::uint64_t requests_issued_ = 0;
   std::uint64_t replies_completed_ = 0;
+  std::uint64_t writebacks_issued_ = 0;
 };
 
 }  // namespace dxbar

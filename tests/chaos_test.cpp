@@ -24,8 +24,9 @@ SimConfig random_config(std::uint64_t seed) {
       RouterDesign::FlitBless,  RouterDesign::Scarab,
       RouterDesign::Buffered4,  RouterDesign::Buffered8,
       RouterDesign::DXbar,      RouterDesign::UnifiedXbar,
-      RouterDesign::BufferedVC, RouterDesign::Afc};
-  cfg.design = designs[rng.below(8)];
+      RouterDesign::BufferedVC, RouterDesign::Afc,
+      RouterDesign::Damq,       RouterDesign::MinBD};
+  cfg.design = designs[rng.below(10)];
 
   constexpr RoutingAlgo algos[] = {RoutingAlgo::DOR, RoutingAlgo::WestFirst,
                                    RoutingAlgo::NegativeFirst,
@@ -156,9 +157,9 @@ TEST_P(ShardFuzzTest, RandomPartitionIsBitExactAndConserving) {
   // Designs with a deflection escape valve, so random link faults are
   // always a valid combination.
   constexpr RouterDesign valve[] = {
-      RouterDesign::FlitBless, RouterDesign::Scarab, RouterDesign::DXbar,
-      RouterDesign::UnifiedXbar, RouterDesign::Afc};
-  cfg.design = valve[rng.below(5)];
+      RouterDesign::FlitBless,   RouterDesign::Scarab, RouterDesign::DXbar,
+      RouterDesign::UnifiedXbar, RouterDesign::Afc,    RouterDesign::MinBD};
+  cfg.design = valve[rng.below(6)];
   cfg.mesh_width = 4 + static_cast<int>(rng.below(5));    // 4..8
   cfg.mesh_height = 4 + static_cast<int>(rng.below(7));   // 4..10
   cfg.offered_load = 0.05 + 0.35 * rng.uniform();

@@ -16,7 +16,8 @@ namespace {
 constexpr RouterDesign kAllDesigns[] = {
     RouterDesign::FlitBless, RouterDesign::Scarab,     RouterDesign::Buffered4,
     RouterDesign::Buffered8, RouterDesign::DXbar,      RouterDesign::UnifiedXbar,
-    RouterDesign::BufferedVC, RouterDesign::Afc,
+    RouterDesign::BufferedVC, RouterDesign::Afc,       RouterDesign::Damq,
+    RouterDesign::MinBD,
 };
 
 // Every field, compared exactly: determinism means bit-identical doubles,

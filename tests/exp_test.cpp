@@ -54,6 +54,7 @@ const std::vector<std::string> kExpectedExperiments = {
     "table1",
     "table2",
     "table3",
+    "table_router_zoo",
     "table_saturation",
 };
 
@@ -179,6 +180,7 @@ TEST(ExpFilter, GlobSelectsMatchingExperimentsInRegistryOrder) {
 
   const auto tables = selected_names(parse({"--filter", "table*"}));
   EXPECT_EQ(tables, (std::vector<std::string>{"table1", "table2", "table3",
+                                              "table_router_zoo",
                                               "table_saturation"}));
 }
 

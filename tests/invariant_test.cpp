@@ -366,7 +366,10 @@ INSTANTIATE_TEST_SUITE_P(
         FuzzPoint{RouterDesign::UnifiedXbar, 0.15},
         FuzzPoint{RouterDesign::BufferedVC, 0.0},
         FuzzPoint{RouterDesign::Afc, 0.0},
-        FuzzPoint{RouterDesign::Afc, 0.15}),
+        FuzzPoint{RouterDesign::Afc, 0.15},
+        FuzzPoint{RouterDesign::Damq, 0.0},
+        FuzzPoint{RouterDesign::MinBD, 0.0},
+        FuzzPoint{RouterDesign::MinBD, 0.15}),
     [](const ::testing::TestParamInfo<FuzzPoint>& info) {
       std::string name(to_string(info.param.design));
       for (char& c : name) {

@@ -165,7 +165,8 @@ INSTANTIATE_TEST_SUITE_P(
                                          RouterDesign::UnifiedXbar,
                                          RouterDesign::FlitBless,
                                          RouterDesign::Scarab,
-                                         RouterDesign::Afc),
+                                         RouterDesign::Afc,
+                                         RouterDesign::MinBD),
                        ::testing::Values(0.1, 0.3)),
     [](const auto& info) {
       std::string name =

@@ -54,7 +54,9 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(RouterDesign::DXbar,
                                          RouterDesign::UnifiedXbar,
                                          RouterDesign::FlitBless,
-                                         RouterDesign::Afc)),
+                                         RouterDesign::Afc,
+                                         RouterDesign::Damq,
+                                         RouterDesign::MinBD)),
     [](const auto& info) {
       std::string name = std::to_string(std::get<0>(info.param)) + "x" +
                          std::to_string(std::get<1>(info.param)) + "_" +
@@ -128,7 +130,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 8),
                        ::testing::Values(RouterDesign::DXbar,
                                          RouterDesign::Buffered4,
-                                         RouterDesign::BufferedVC)),
+                                         RouterDesign::BufferedVC,
+                                         RouterDesign::Damq,
+                                         RouterDesign::MinBD)),
     [](const auto& info) {
       std::string name = "d" + std::to_string(std::get<0>(info.param)) + "_" +
                          std::string(to_string(std::get<1>(info.param)));

@@ -16,7 +16,8 @@ constexpr RouterDesign kDesigns[] = {
     RouterDesign::FlitBless, RouterDesign::Scarab,
     RouterDesign::Buffered4,  RouterDesign::Buffered8,
     RouterDesign::DXbar,      RouterDesign::UnifiedXbar,
-    RouterDesign::BufferedVC, RouterDesign::Afc};
+    RouterDesign::BufferedVC, RouterDesign::Afc,
+    RouterDesign::Damq,       RouterDesign::MinBD};
 
 // ---- conservation: nothing lost, nothing duplicated ---------------------
 

@@ -102,7 +102,9 @@ INSTANTIATE_TEST_SUITE_P(
                       RouterDesign::Buffered4,    // batched step_batch
                       RouterDesign::Scarab,       // NACK net, virtual path
                       RouterDesign::UnifiedXbar,  // virtual fallback
-                      RouterDesign::Afc),         // virtual fallback
+                      RouterDesign::Afc,          // virtual fallback
+                      RouterDesign::Damq,         // batched step_batch
+                      RouterDesign::MinBD),       // batched step_batch
     [](const ::testing::TestParamInfo<RouterDesign>& info) {
       std::string name(to_string(info.param));
       for (char& c : name) {

@@ -178,7 +178,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(RouterDesign::FlitBless, RouterDesign::Scarab,
                       RouterDesign::Buffered4, RouterDesign::Buffered8,
                       RouterDesign::DXbar, RouterDesign::UnifiedXbar,
-                      RouterDesign::BufferedVC, RouterDesign::Afc),
+                      RouterDesign::BufferedVC, RouterDesign::Afc,
+                      RouterDesign::Damq, RouterDesign::MinBD),
     [](const auto& info) {
       std::string name;
       for (char c : to_string(info.param)) {

@@ -119,7 +119,8 @@ INSTANTIATE_TEST_SUITE_P(Designs, TorusConservationTest,
                                            RouterDesign::UnifiedXbar,
                                            RouterDesign::FlitBless,
                                            RouterDesign::Scarab,
-                                           RouterDesign::Afc),
+                                           RouterDesign::Afc,
+                                           RouterDesign::MinBD),
                          [](const auto& info) {
                            std::string n(to_string(info.param));
                            for (char& c : n) {

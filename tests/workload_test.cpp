@@ -25,7 +25,8 @@ namespace {
 constexpr RouterDesign kAllDesigns[] = {
     RouterDesign::FlitBless, RouterDesign::Scarab,     RouterDesign::Buffered4,
     RouterDesign::Buffered8, RouterDesign::DXbar,      RouterDesign::UnifiedXbar,
-    RouterDesign::BufferedVC, RouterDesign::Afc,
+    RouterDesign::BufferedVC, RouterDesign::Afc,       RouterDesign::Damq,
+    RouterDesign::MinBD,
 };
 
 std::string design_name(RouterDesign d) {
@@ -191,6 +192,91 @@ TEST(ClosedLoopInvariant, OutstandingNeverExceedsMlpBound) {
   }
   EXPECT_GT(wl.replies_completed(), 0u);
   EXPECT_GE(wl.requests_issued(), wl.replies_completed());
+}
+
+// --- coherence-shaped client mix -----------------------------------------
+
+TEST(CoherenceMix, PureReadIssuesNoWritebacksAndMatchesDefaultBitExactly) {
+  // read_fraction = 1.0 must short-circuit the bernoulli draw: the run
+  // is bit-identical to a config that never mentions the knob, and no
+  // writeback traffic exists.
+  const SimConfig base = closed_loop_cfg(RouterDesign::DXbar);
+  SimConfig pure = base;
+  pure.read_fraction = 1.0;
+  expect_identical(run_open_loop(base), run_open_loop(pure));
+
+  Network net(base);
+  ClosedLoopWorkload wl(base, net.mesh());
+  net.set_workload(&wl);
+  for (int t = 0; t < 1200; ++t) net.step();
+  EXPECT_GT(wl.replies_completed(), 0u);
+  EXPECT_EQ(wl.writebacks_issued(), 0u);
+}
+
+TEST(CoherenceMix, MixedRunIssuesWritebacksRoughlyAtWriteFraction) {
+  SimConfig cfg = closed_loop_cfg(RouterDesign::DXbar);
+  cfg.read_fraction = 0.6;
+  Network net(cfg);
+  ClosedLoopWorkload wl(cfg, net.mesh());
+  net.set_workload(&wl);
+  for (int t = 0; t < 1500; ++t) net.step();
+  ASSERT_GT(wl.requests_issued(), 500u);
+  EXPECT_GT(wl.writebacks_issued(), 0u);
+  // One writeback per write transaction: the ratio concentrates near
+  // 1 - read_fraction (loose 3-sigma-ish bounds, deterministic seed).
+  const double ratio = static_cast<double>(wl.writebacks_issued()) /
+                       static_cast<double>(wl.requests_issued());
+  EXPECT_GT(ratio, 0.30);
+  EXPECT_LT(ratio, 0.50);
+}
+
+class CoherenceMixDrainTest : public ::testing::TestWithParam<RouterDesign> {};
+
+TEST_P(CoherenceMixDrainTest, MixedTrafficDrainsAndMakesForwardProgress) {
+  // The deadlock-freedom argument must survive the mix: writebacks are
+  // terminal and hold no MSHR, so the request->reply cycle still drains
+  // on every design, including the new shared-buffer and side-buffer
+  // routers.
+  SimConfig cfg = closed_loop_cfg(GetParam());
+  cfg.read_fraction = 0.5;
+  cfg.mlp = 8;
+  const RunStats s = run_open_loop(cfg);
+  EXPECT_GT(s.requests_completed, 100u) << "no forward progress";
+  EXPECT_TRUE(s.drained) << "mixed-traffic run failed to drain";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Designs, CoherenceMixDrainTest,
+    ::testing::Values(RouterDesign::DXbar, RouterDesign::BufferedVC,
+                      RouterDesign::Damq, RouterDesign::MinBD),
+    [](const ::testing::TestParamInfo<RouterDesign>& info) {
+      return design_name(info.param);
+    });
+
+TEST(CoherenceMix, MidRunSaveRestoreResumesBitExactly) {
+  // The v6 snapshot block (per-reply lengths, writeback counter) must
+  // round-trip: resume mid-measurement under a mixed workload and land
+  // on the uninterrupted run's stats.
+  SimConfig cfg = closed_loop_cfg(RouterDesign::DXbar);
+  cfg.read_fraction = 0.7;
+
+  Network net(cfg);
+  auto wl = make_workload(cfg, net.mesh());
+  net.set_workload(wl.get());
+  advance_open_loop(net, 700);
+
+  const std::vector<std::uint8_t> net_bytes = net.snapshot();
+  SnapshotWriter w;
+  wl->save_state(w);
+  const RunStats straight = finish_open_loop(net, *wl);
+
+  Network resumed(cfg);
+  auto wl2 = make_workload(cfg, resumed.mesh());
+  resumed.set_workload(wl2.get());
+  resumed.restore(net_bytes);
+  SnapshotReader r(w.data());
+  wl2->load_state(r);
+  expect_identical(straight, finish_open_loop(resumed, *wl2));
 }
 
 // --- determinism across execution strategies -----------------------------
